@@ -1,0 +1,89 @@
+// Ablation: the disagreement-point choice in the Nash bargaining game.
+//
+// The paper (following Zhao et al.) uses (Eworst, Lworst) — each player
+// threatens the other with its own optimum, i.e. the opponent's worst
+// feasible outcome.  This bench contrasts that with the natural alternative
+// of threatening with the raw application requirements (Ebudget, Lmax), for
+// every protocol at the paper's default requirements.  The Nash solution
+// moves toward whichever player's threat improves.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/game_framework.h"
+#include "game/bargaining.h"
+#include "game/nbs.h"
+#include "mac/registry.h"
+#include "util/si.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace edb;
+
+// NBS over the protocol frontier for an arbitrary disagreement point in
+// cost space, reusing the game library's utility formulation.
+Expected<game::UtilityPoint> solve_with_threat(
+    const std::vector<opt::ParetoPoint>& frontier, double e_threat,
+    double l_threat, double e_cap, double l_cap) {
+  std::vector<game::UtilityPoint> utilities;
+  for (const auto& p : frontier) {
+    if (p.f1 > e_cap || p.f2 > l_cap) continue;
+    // Cost -> utility: savings relative to the threat point.
+    utilities.push_back({e_threat - p.f1, l_threat - p.f2});
+  }
+  if (utilities.empty()) {
+    return make_error(ErrorCode::kInfeasible, "no feasible frontier point");
+  }
+  game::BargainingProblem problem(std::move(utilities), {0.0, 0.0});
+  auto result = game::nash_bargaining(problem);
+  if (!result.ok()) return result.error();
+  return game::UtilityPoint{e_threat - result->solution.u1,
+                            l_threat - result->solution.u2};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: disagreement point of the bargaining game ==\n");
+  core::Scenario scenario = core::Scenario::paper_default();
+  std::printf("requirements: Ebudget=%.2f J, Lmax=%.0f s\n\n",
+              scenario.requirements.e_budget, scenario.requirements.l_max);
+
+  Table table({"protocol", "threat", "E* [J]", "L* [ms]"});
+  for (const auto& name : mac::paper_protocols()) {
+    auto model = mac::make_model(name, scenario.context).take();
+    core::EnergyDelayGame game(*model, scenario.requirements);
+    auto outcome = game.solve();
+    if (!outcome.ok()) {
+      table.row({name, "(Eworst,Lworst)", "infeasible", "-"});
+      continue;
+    }
+    char e1[32], l1[32];
+    std::snprintf(e1, 32, "%.5f", outcome->nbs.energy);
+    std::snprintf(l1, 32, "%.1f", edb::to_ms(outcome->nbs.latency));
+    table.row({name, "(Eworst,Lworst) [paper]", e1, l1});
+
+    // Alternative threat: the raw application requirements.
+    auto frontier = game.frontier(2048);
+    auto alt = solve_with_threat(frontier, scenario.requirements.e_budget,
+                                 scenario.requirements.l_max,
+                                 scenario.requirements.e_budget,
+                                 scenario.requirements.l_max);
+    if (alt.ok()) {
+      char e2[32], l2[32];
+      std::snprintf(e2, 32, "%.5f", alt->u1);
+      std::snprintf(l2, 32, "%.1f", edb::to_ms(alt->u2));
+      table.row({name, "(Ebudget,Lmax)", e2, l2});
+    } else {
+      table.row({name, "(Ebudget,Lmax)", "infeasible", "-"});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe (Ebudget,Lmax) threat bargains from the requirement corner and "
+      "shifts\nthe agreement relative to the paper's mutual-worst threat; "
+      "with a slack\nbudget the delay player gains, with a tight one the "
+      "energy player does.\n");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces the paper's Fig. 1a: X-MAC energy-delay trade-off with
+// Ebudget fixed at 0.06 J and Lmax swept over 1..6 s.
+#include "fig_common.h"
+
+int main() {
+  return edb::bench::run_figure("X-MAC", edb::core::SweepKind::kLmax,
+                                "Fig. 1a");
+}

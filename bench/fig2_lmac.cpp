@@ -1,0 +1,8 @@
+// Reproduces the paper's Fig. 2c: LMAC energy-delay trade-off with
+// Lmax fixed at 6 s and Ebudget swept over 0.01..0.06 J.
+#include "fig_common.h"
+
+int main() {
+  return edb::bench::run_figure("LMAC", edb::core::SweepKind::kBudget,
+                                "Fig. 2c");
+}

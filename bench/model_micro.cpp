@@ -1,0 +1,63 @@
+// google-benchmark timings of one analytic E(X)/L(X) evaluation per
+// protocol — the inner-loop cost every solver pays.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "mac/registry.h"
+
+namespace {
+
+using namespace edb;
+
+void BM_Energy(benchmark::State& state) {
+  const auto protocols = mac::registered_protocols();
+  const auto& name = protocols[state.range(0)];
+  auto model = mac::make_model(name, mac::ModelContext{}).take();
+  const auto x = model->params().midpoint();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->energy(x));
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_Energy)->DenseRange(0, 4);
+
+void BM_Latency(benchmark::State& state) {
+  const auto protocols = mac::registered_protocols();
+  const auto& name = protocols[state.range(0)];
+  auto model = mac::make_model(name, mac::ModelContext{}).take();
+  const auto x = model->params().midpoint();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->latency(x));
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_Latency)->DenseRange(0, 4);
+
+void BM_FeasibilityMargin(benchmark::State& state) {
+  const auto protocols = mac::registered_protocols();
+  const auto& name = protocols[state.range(0)];
+  auto model = mac::make_model(name, mac::ModelContext{}).take();
+  const auto x = model->params().midpoint();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->feasibility_margin(x));
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_FeasibilityMargin)->DenseRange(0, 4);
+
+void BM_EnergyDeepRing(benchmark::State& state) {
+  // Scaling in ring depth (the per-ring max in energy()).
+  mac::ModelContext ctx;
+  ctx.ring.depth = static_cast<int>(state.range(0));
+  auto model = mac::make_model("X-MAC", ctx).take();
+  const auto x = model->params().midpoint();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->energy(x));
+  }
+}
+BENCHMARK(BM_EnergyDeepRing)->Arg(5)->Arg(20)->Arg(80);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// google-benchmark timings of the discrete-event simulator: kernel event
+// throughput and full protocol runs across topology sizes.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "sim/builder.h"
+#include "sim/dmac_sim.h"
+#include "sim/scheduler.h"
+#include "sim/simulation.h"
+#include "sim/xmac_sim.h"
+
+namespace {
+
+using namespace edb;
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  // Self-rescheduling event chains: the kernel's steady-state pattern.
+  const int chains = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int fired = 0;
+    std::function<void(double)> tick = [&](double period) {
+      ++fired;
+      sched.schedule_in(period, [&tick, period] { tick(period); });
+    };
+    for (int c = 0; c < chains; ++c) {
+      const double period = 0.001 * (1 + c % 7);
+      sched.schedule_at(0.0, [&tick, period] { tick(period); });
+    }
+    sched.run_until(1.0);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerThroughput)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_XmacChain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::SimulationConfig cfg;
+    cfg.traffic.fs = 0.05;
+    cfg.duration = 100;
+    sim::Simulation sim(cfg);
+    sim::build_chain(sim, depth);
+    sim.finalize([](sim::MacEnv env) {
+      return std::make_unique<sim::XmacSim>(std::move(env),
+                                            sim::XmacSimParams{.tw = 0.2});
+    });
+    sim.run();
+    benchmark::DoNotOptimize(sim.metrics().delivered());
+  }
+  state.SetLabel("100 sim-seconds");
+}
+BENCHMARK(BM_XmacChain)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_DmacCorridor(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::SimulationConfig cfg;
+    cfg.traffic.fs = 0.01;
+    cfg.duration = 100;
+    sim::Simulation sim(cfg);
+    sim::build_ring_corridor(
+        sim, net::RingTopology{.depth = depth, .density = 3}, 7);
+    sim.finalize([&](sim::MacEnv env) {
+      return std::make_unique<sim::DmacSim>(
+          std::move(env),
+          sim::DmacSimParams{.t_cycle = 1.0, .max_depth = depth});
+    });
+    sim.run();
+    benchmark::DoNotOptimize(sim.metrics().delivered());
+  }
+  state.SetLabel("100 sim-seconds");
+}
+BENCHMARK(BM_DmacCorridor)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Adaptive retuning: re-solving the game as requirements change at runtime.
+//
+// The paper's related work (pTunes, Zimmerling et al.) motivates runtime
+// parameter adaptation; the bargaining framework provides the policy: each
+// time the application's requirements change (fresh energy budget after a
+// battery reading, a tightened delay bound during an alarm phase), re-solve
+// the game and push the new MAC parameters.  This example walks a
+// deployment through a day-in-the-life scenario and prints the parameter
+// schedule the framework would push.
+//
+//   $ ./adaptive_retuning
+//
+#include <cstdio>
+#include <iostream>
+
+#include "core/game_framework.h"
+#include "mac/registry.h"
+#include "util/si.h"
+#include "util/table.h"
+
+int main() {
+  using namespace edb;
+  core::Scenario scenario = core::Scenario::paper_default();
+  auto model = mac::make_model("X-MAC", scenario.context).take();
+
+  struct Phase {
+    const char* name;
+    double e_budget;  // J per epoch
+    double l_max;     // s
+  };
+  // Monitoring -> alarm -> low battery -> recovery.
+  const Phase phases[] = {
+      {"routine monitoring", 0.060, 6.0},
+      {"alarm raised: tighten latency", 0.060, 1.0},
+      {"battery low: halve the budget", 0.030, 6.0},
+      {"critical battery, still alarmed", 0.020, 2.0},
+      {"fresh batteries installed", 0.060, 4.0},
+  };
+
+  std::printf("== Adaptive retuning of X-MAC across application phases ==\n\n");
+  Table table({"phase", "Ebudget [J]", "Lmax [s]", "Tw [s]", "E* [J]",
+               "L* [ms]", "verdict"});
+  for (const auto& phase : phases) {
+    core::AppRequirements req{.e_budget = phase.e_budget,
+                              .l_max = phase.l_max};
+    core::EnergyDelayGame game(*model, req);
+    auto outcome = game.solve();
+    char eb[32], lm[32];
+    std::snprintf(eb, 32, "%.3f", phase.e_budget);
+    std::snprintf(lm, 32, "%.1f", phase.l_max);
+    if (!outcome.ok()) {
+      table.row({phase.name, eb, lm, "-", "-", "-", "unreachable: shed load"});
+      continue;
+    }
+    char tw[32], e[32], l[32];
+    std::snprintf(tw, 32, "%.4f", outcome->nbs.x[0]);
+    std::snprintf(e, 32, "%.5f", outcome->nbs.energy);
+    std::snprintf(l, 32, "%.1f", to_ms(outcome->nbs.latency));
+    table.row({phase.name, eb, lm, tw, e, l, "retune"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nEach row is one re-solve (~10 ms; see bench/scalability): cheap "
+      "enough to\nrun on a gateway whenever requirements move, with only Tw "
+      "disseminated to\nthe network.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Protocol selection: which MAC should a deployment run?
+//
+// The motivating use case of the paper's framework: given application
+// requirements, solve the bargaining game for every registered protocol
+// (the paper's three plus the B-MAC / SCP-MAC extensions) and rank the
+// agreements.  A protocol whose game is infeasible cannot satisfy the
+// application at all.
+//
+//   $ ./protocol_selection [Ebudget_J] [Lmax_s]
+//
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/game_framework.h"
+#include "mac/registry.h"
+#include "util/si.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace edb;
+  core::Scenario scenario = core::Scenario::paper_default();
+  if (argc > 1) scenario.requirements.e_budget = std::atof(argv[1]);
+  if (argc > 2) scenario.requirements.l_max = std::atof(argv[2]);
+
+  std::printf("== Protocol selection ==\n");
+  std::printf("deployment   : D=%d rings, C=%g, fs=%g Hz (CC2420)\n",
+              scenario.context.ring.depth, scenario.context.ring.density,
+              scenario.context.fs);
+  std::printf("requirements : E <= %.3f J/epoch, L <= %.1f s\n\n",
+              scenario.requirements.e_budget, scenario.requirements.l_max);
+
+  Table table({"protocol", "E* [J]", "L* [ms]", "Nash product", "param",
+               "verdict"});
+  std::string best;
+  double best_product = -1;
+  for (const auto& name : mac::registered_protocols()) {
+    auto model_or = mac::make_model(name, scenario.context);
+    if (!model_or.ok()) continue;
+    auto model = std::move(model_or).take();
+    core::EnergyDelayGame game(*model, scenario.requirements);
+    auto outcome = game.solve();
+    if (!outcome.ok()) {
+      table.row({name, "-", "-", "-", "-", "infeasible"});
+      continue;
+    }
+    char e[32], l[32], np[32], px[32];
+    std::snprintf(e, 32, "%.5f", outcome->nbs.energy);
+    std::snprintf(l, 32, "%.0f", to_ms(outcome->nbs.latency));
+    std::snprintf(np, 32, "%.3g", outcome->nash_product);
+    std::snprintf(px, 32, "%s=%.4f", model->params().info(0).name.c_str(),
+                  outcome->nbs.x[0]);
+    table.row({name, e, l, np, px, "ok"});
+    // Rank by the energy headroom the agreement leaves (application keeps
+    // the delay bound satisfied either way).
+    const double headroom =
+        scenario.requirements.e_budget - outcome->nbs.energy;
+    if (best.empty() || headroom > best_product) {
+      best_product = headroom;
+      best = name;
+    }
+  }
+  table.print(std::cout);
+  if (!best.empty()) {
+    std::printf("\nrecommended: %s (largest energy headroom at the fair "
+                "operating point)\n", best.c_str());
+  } else {
+    std::printf("\nno protocol satisfies these requirements — relax Lmax or "
+                "raise the budget\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: optimise one duty-cycled MAC protocol for an application.
+//
+// Given an energy budget and a delay bound, the framework plays the
+// two-player bargaining game of the paper and returns the MAC parameters
+// of the fair energy-delay operating point.
+//
+//   $ ./quickstart
+//
+#include <cstdio>
+
+#include "core/game_framework.h"
+#include "mac/registry.h"
+#include "util/si.h"
+
+int main() {
+  using namespace edb;
+
+  // 1. Describe the deployment: radio, packets, topology, traffic.
+  //    paper_default() is the calibration behind the paper's figures —
+  //    a 200-node, 5-ring CC2420 network reporting every ~4.3 hours.
+  core::Scenario scenario = core::Scenario::paper_default();
+
+  // 2. State the application requirements.
+  scenario.requirements.e_budget = 0.05;  // joules per 100 s epoch
+  scenario.requirements.l_max = 2.0;      // seconds end-to-end
+
+  // 3. Pick a protocol and instantiate its analytic model.
+  auto model = mac::make_model("X-MAC", scenario.context).take();
+
+  // 4. Solve the game: (P1) energy player, (P2) delay player, (P4) Nash
+  //    bargaining between them.
+  core::EnergyDelayGame game(*model, scenario.requirements);
+  auto outcome = game.solve();
+  if (!outcome.ok()) {
+    std::printf("no feasible operating point: %s\n",
+                outcome.error().to_string().c_str());
+    return 1;
+  }
+
+  // 5. Read out the agreement.
+  const auto& p = model->params().info(0);
+  std::printf("protocol          : %s\n", std::string(model->name()).c_str());
+  std::printf("requirements      : E <= %.3f J/epoch, L <= %.1f s\n",
+              scenario.requirements.e_budget, scenario.requirements.l_max);
+  std::printf("energy optimum    : E = %.4f J, L = %.0f ms\n",
+              outcome->e_best(), to_ms(outcome->l_worst()));
+  std::printf("delay optimum     : E = %.4f J, L = %.0f ms\n",
+              outcome->e_worst(), to_ms(outcome->l_best()));
+  std::printf("NBS agreement     : E* = %.4f J, L* = %.0f ms\n",
+              outcome->nbs.energy, to_ms(outcome->nbs.latency));
+  std::printf("tuned parameter   : %s = %.4f %s\n", p.name.c_str(),
+              outcome->nbs.x[0], p.unit.c_str());
+  std::printf("fairness ratios   : energy %.3f vs delay %.3f\n",
+              outcome->energy_gain_ratio(), outcome->latency_gain_ratio());
+
+  // 6. The per-activity energy budget at the bottleneck ring.
+  const auto breakdown = model->energy_breakdown(outcome->nbs.x, 1);
+  std::printf("\nbottleneck energy breakdown [J/epoch]:\n");
+  std::printf("  carrier sense %.5f | tx %.5f | rx %.5f | overhear %.5f\n",
+              breakdown.cs, breakdown.tx, breakdown.rx, breakdown.ovr);
+  std::printf("  sync tx %.5f | sync rx %.5f | sleep %.5f\n", breakdown.stx,
+              breakdown.srx, breakdown.sleep);
+  return 0;
+}

@@ -1,0 +1,247 @@
+#include "core/game_framework.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/bounds.h"
+#include "opt/grid.h"
+#include "opt/penalty.h"
+#include "util/log.h"
+#include "util/math.h"
+
+namespace edb::core {
+namespace {
+
+opt::Box model_box(const mac::AnalyticMacModel& model) {
+  return opt::Box(model.params().lower(), model.params().upper());
+}
+
+// Indicator-style objective for the grid oracle: the raw objective inside
+// the feasible region, +inf outside.  Grid search tolerates the
+// discontinuity; the penalty solver gets smooth slacks instead.
+opt::Objective fenced(opt::Objective raw,
+                      std::vector<opt::Constraint> slacks) {
+  return [raw = std::move(raw),
+          slacks = std::move(slacks)](const std::vector<double>& x) {
+    for (const auto& s : slacks) {
+      if (s(x) <= 0.0) return kInf;
+    }
+    return raw(x);
+  };
+}
+
+// Best feasible point across the penalty solver and the grid oracle.
+Expected<opt::VectorResult> dual_solve(
+    const opt::Objective& raw, const std::vector<opt::Constraint>& slacks,
+    const opt::Box& box) {
+  opt::VectorResult best;
+  best.value = kInf;
+
+  auto grid = opt::grid_refine_min(fenced(raw, slacks), box,
+                                   {.points_per_dim = 65, .rounds = 10,
+                                    .zoom = 0.15});
+  if (std::isfinite(grid.value)) best = grid;
+
+  auto pen = opt::constrained_min(raw, slacks, box);
+  if (pen.ok() && pen->feasible) {
+    // Re-check against the fence (penalty tolerates tiny violations).
+    bool strictly_ok = true;
+    for (const auto& s : slacks) {
+      if (s(pen->x) <= 0.0) strictly_ok = false;
+    }
+    if (strictly_ok && pen->value < best.value) {
+      best.x = pen->x;
+      best.value = pen->value;
+      best.evaluations += pen->evaluations;
+    }
+  }
+
+  if (best.x.empty() || !std::isfinite(best.value)) {
+    return make_error(ErrorCode::kInfeasible,
+                      "no feasible point satisfies the constraints");
+  }
+  best.converged = true;
+  return best;
+}
+
+}  // namespace
+
+double BargainingOutcome::energy_gain_ratio() const {
+  const double denom = e_best() - e_worst();
+  if (std::abs(denom) < 1e-300) return 0.0;
+  return (nbs.energy - e_worst()) / denom;
+}
+
+double BargainingOutcome::latency_gain_ratio() const {
+  const double denom = l_best() - l_worst();
+  if (std::abs(denom) < 1e-300) return 0.0;
+  return (nbs.latency - l_worst()) / denom;
+}
+
+EnergyDelayGame::EnergyDelayGame(const mac::AnalyticMacModel& model,
+                                 AppRequirements req)
+    : model_(model), req_(req) {
+  EDB_ASSERT(req_.validate().ok(), "invalid application requirements");
+}
+
+OperatingPoint EnergyDelayGame::make_point(std::vector<double> x) const {
+  OperatingPoint p;
+  p.energy = model_.energy(x);
+  p.latency = model_.latency(x);
+  p.x = std::move(x);
+  return p;
+}
+
+Expected<OperatingPoint> EnergyDelayGame::solve_p1() const {
+  const opt::Box box = model_box(model_);
+  opt::Objective obj = [this](const std::vector<double>& x) {
+    return model_.energy(x);
+  };
+  std::vector<opt::Constraint> slacks = {
+      [this](const std::vector<double>& x) {
+        return model_.feasibility_margin(x);
+      },
+      [this](const std::vector<double>& x) {
+        return (req_.l_max - model_.latency(x)) / req_.l_max;
+      },
+  };
+  auto r = dual_solve(obj, slacks, box);
+  if (!r.ok()) {
+    return make_error(ErrorCode::kInfeasible,
+                      std::string(model_.name()) +
+                          " (P1): no parameter setting meets Lmax");
+  }
+  return make_point(r->x);
+}
+
+Expected<OperatingPoint> EnergyDelayGame::solve_p2() const {
+  const opt::Box box = model_box(model_);
+  opt::Objective obj = [this](const std::vector<double>& x) {
+    return model_.latency(x);
+  };
+  std::vector<opt::Constraint> slacks = {
+      [this](const std::vector<double>& x) {
+        return model_.feasibility_margin(x);
+      },
+      [this](const std::vector<double>& x) {
+        return (req_.e_budget - model_.energy(x)) / req_.e_budget;
+      },
+  };
+  auto r = dual_solve(obj, slacks, box);
+  if (!r.ok()) {
+    return make_error(ErrorCode::kInfeasible,
+                      std::string(model_.name()) +
+                          " (P2): no parameter setting meets the budget");
+  }
+  return make_point(r->x);
+}
+
+Expected<BargainingOutcome> EnergyDelayGame::solve() const {
+  return solve_weighted(0.5);
+}
+
+Expected<BargainingOutcome> EnergyDelayGame::solve_weighted(
+    double alpha) const {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bargaining power alpha must lie in (0, 1)");
+  }
+  auto p1 = solve_p1();
+  if (!p1.ok()) return p1.error();
+  auto p2 = solve_p2();
+  if (!p2.ok()) return p2.error();
+
+  BargainingOutcome out;
+  out.p1 = *p1;
+  out.p2 = *p2;
+
+  const double e_worst = out.e_worst();
+  const double l_worst = out.l_worst();
+
+  // Degenerate game: both players already agree (single-point frontier).
+  if (rel_diff(out.e_best(), e_worst) < 1e-9 &&
+      rel_diff(out.l_best(), l_worst) < 1e-9) {
+    out.nbs = out.p1;
+    out.nash_product = 0.0;
+    return out;
+  }
+
+  // (P4): maximise the (weighted) Nash product below the disagreement
+  // point.  Slacks are normalised by the players' bargaining ranges so the
+  // exponents weight *relative* gains; for alpha = 1/2 the argmax equals
+  // the paper's plain product.  The objective returns -product when both
+  // slacks are positive and a positive violation measure otherwise
+  // (continuous across the boundary).
+  const double e_range = std::max(e_worst - out.e_best(), 1e-300);
+  const double l_range = std::max(l_worst - out.l_best(), 1e-300);
+  opt::Objective obj = [this, e_worst, l_worst, e_range, l_range,
+                        alpha](const std::vector<double>& x) {
+    const double se = (e_worst - model_.energy(x)) / e_range;
+    const double sl = (l_worst - model_.latency(x)) / l_range;
+    if (se > 0.0 && sl > 0.0) {
+      return -std::pow(se, alpha) * std::pow(sl, 1.0 - alpha);
+    }
+    return (se <= 0.0 ? -se : 0.0) + (sl <= 0.0 ? -sl : 0.0);
+  };
+  std::vector<opt::Constraint> slacks = {
+      [this](const std::vector<double>& x) {
+        return model_.feasibility_margin(x);
+      },
+      [this, e_worst](const std::vector<double>& x) {
+        const double cap = std::min(req_.e_budget, e_worst);
+        return (cap - model_.energy(x)) / cap;
+      },
+      [this, l_worst](const std::vector<double>& x) {
+        const double cap = std::min(req_.l_max, l_worst);
+        return (cap - model_.latency(x)) / cap;
+      },
+  };
+
+  const opt::Box box = model_box(model_);
+  auto r = dual_solve(obj, slacks, box);
+  if (!r.ok()) {
+    // Strict-inequality slacks can exclude a corner that sits exactly on
+    // the caps; accept a corner that satisfies the (P3) constraints within
+    // tolerance.  Otherwise the players genuinely cannot reach any
+    // agreement inside the application requirements.
+    auto corner_ok = [&](const OperatingPoint& c) {
+      return c.energy <= std::min(req_.e_budget, e_worst) * (1 + 1e-9) &&
+             c.latency <= std::min(req_.l_max, l_worst) * (1 + 1e-9);
+    };
+    if (corner_ok(out.p2) || corner_ok(out.p1)) {
+      EDB_WARN("NBS search degenerate for " << model_.name()
+                                            << "; using a corner agreement");
+      out.nbs = corner_ok(out.p2) ? out.p2 : out.p1;
+      out.nash_product = 0.0;
+      return out;
+    }
+    return make_error(
+        ErrorCode::kInfeasible,
+        std::string(model_.name()) +
+            " (P3): no operating point satisfies both the energy budget "
+            "and the delay bound");
+  }
+
+  out.nbs = make_point(r->x);
+  out.nash_product = std::max(0.0, (e_worst - out.nbs.energy) *
+                                       (l_worst - out.nbs.latency));
+  return out;
+}
+
+std::vector<opt::ParetoPoint> EnergyDelayGame::frontier(
+    int points_per_dim) const {
+  const opt::Box box = model_box(model_);
+  opt::Objective f1 = [this](const std::vector<double>& x) {
+    return model_.energy(x);
+  };
+  opt::Objective f2 = [this](const std::vector<double>& x) {
+    return model_.latency(x);
+  };
+  opt::Constraint feas = [this](const std::vector<double>& x) {
+    return model_.feasibility_margin(x);
+  };
+  return opt::trace_frontier(f1, f2, box, feas,
+                             {.points_per_dim = points_per_dim});
+}
+
+}  // namespace edb::core

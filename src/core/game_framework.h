@@ -1,0 +1,91 @@
+// The paper's game-theoretic framework: energy and delay as virtual players.
+//
+// EnergyDelayGame wires an analytic MAC model into the three optimisation
+// problems of §2:
+//
+//   (P1)  min E(X)  s.t. L(X) <= Lmax          ->  (Ebest, Lworst)
+//   (P2)  min L(X)  s.t. E(X) <= Ebudget       ->  (Eworst, Lbest)
+//   (P4)  max log(Eworst - E) + log(Lworst - L)
+//         s.t. (E, L) <= (Eworst, Lworst), (E, L) <= (Ebudget, Lmax)
+//                                              ->  (E*, L*)
+//
+// (P4) is the concave transform of the Nash product (P3) with disagreement
+// point (Eworst, Lworst), exactly as the paper sets it up.  Every problem
+// additionally carries the protocol's own feasibility constraints
+// (AnalyticMacModel::feasibility_margin > 0).
+//
+// Each solve runs two independent solvers — the exterior-penalty
+// Nelder-Mead pipeline and a zooming dense grid — and returns the better
+// feasible point; the test suite asserts the two agree, which is this
+// library's substitute for a convex-programming package (DESIGN.md §2).
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.h"
+#include "mac/model.h"
+#include "opt/pareto.h"
+#include "util/error.h"
+
+namespace edb::core {
+
+// One solved operating point of the protocol.
+struct OperatingPoint {
+  std::vector<double> x;  // MAC parameters
+  double energy = 0;      // E(x) [J per epoch]
+  double latency = 0;     // L(x) [s]
+};
+
+// Full outcome of the bargaining pipeline for one protocol + requirements.
+struct BargainingOutcome {
+  OperatingPoint p1;   // energy player's optimum: (Ebest, Lworst)
+  OperatingPoint p2;   // delay player's optimum:  (Eworst, Lbest)
+  OperatingPoint nbs;  // the agreement:           (E*, L*)
+
+  double e_best() const { return p1.energy; }
+  double l_worst() const { return p1.latency; }
+  double e_worst() const { return p2.energy; }
+  double l_best() const { return p2.latency; }
+
+  double nash_product = 0;  // (Eworst - E*)(Lworst - L*)
+
+  // The paper's proportional-fairness identity ratios:
+  //   (E* - Eworst)/(Ebest - Eworst)  and  (L* - Lworst)/(Lbest - Lworst).
+  // Both lie in [0, 1]; the identity asserts they are equal.
+  double energy_gain_ratio() const;
+  double latency_gain_ratio() const;
+};
+
+class EnergyDelayGame {
+ public:
+  // The model must outlive the game.
+  EnergyDelayGame(const mac::AnalyticMacModel& model, AppRequirements req);
+
+  // (P1): energy player.  kInfeasible when no parameter setting meets Lmax.
+  Expected<OperatingPoint> solve_p1() const;
+  // (P2): delay player.  kInfeasible when no parameter setting meets the
+  // budget.
+  Expected<OperatingPoint> solve_p2() const;
+  // Full pipeline: P1, P2, then the Nash bargaining problem (P4).
+  Expected<BargainingOutcome> solve() const;
+
+  // Asymmetric extension (beyond the paper): maximises the weighted Nash
+  // product (Eworst - E)^alpha (Lworst - L)^(1-alpha).  alpha in (0, 1) is
+  // the energy player's bargaining power; alpha = 1/2 recovers solve().
+  Expected<BargainingOutcome> solve_weighted(double alpha) const;
+
+  // The protocol's feasible E-L frontier (for plotting the trade-off
+  // curves behind the paper's figures).  Not clipped to the requirements.
+  std::vector<opt::ParetoPoint> frontier(int points_per_dim = 512) const;
+
+  const mac::AnalyticMacModel& model() const { return model_; }
+  const AppRequirements& requirements() const { return req_; }
+
+ private:
+  OperatingPoint make_point(std::vector<double> x) const;
+
+  const mac::AnalyticMacModel& model_;
+  AppRequirements req_;
+};
+
+}  // namespace edb::core

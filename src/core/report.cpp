@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "util/csv.h"
+#include "util/math.h"
+#include "util/si.h"
+#include "util/table.h"
+
+namespace edb::core {
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+std::string cell_label(const SweepResult& r, const SweepCell& c) {
+  return fmt(r.kind == SweepKind::kLmax ? "%.0f" : "%.2f", c.value);
+}
+
+}  // namespace
+
+void print_sweep_table(const SweepResult& result, std::ostream& out) {
+  const std::string head = std::string(sweep_kind_name(result.kind)) +
+                           (result.kind == SweepKind::kLmax ? " [s]" : " [J]");
+  Table table({head, "E* [J]", "L* [ms]", "Ebest [J]", "Eworst [J]",
+               "Lbest [ms]", "Lworst [ms]", "gainE", "gainL"});
+  for (const auto& cell : result.cells) {
+    if (!cell.feasible()) {
+      table.row({cell_label(result, cell), "infeasible", "-", "-", "-", "-",
+                 "-", "-", "-"});
+      continue;
+    }
+    const auto& o = *cell.outcome;
+    table.row({cell_label(result, cell), fmt("%.5f", o.nbs.energy),
+               fmt("%.1f", to_ms(o.nbs.latency)), fmt("%.5f", o.e_best()),
+               fmt("%.5f", o.e_worst()), fmt("%.1f", to_ms(o.l_best())),
+               fmt("%.1f", to_ms(o.l_worst())),
+               fmt("%.3f", o.energy_gain_ratio()),
+               fmt("%.3f", o.latency_gain_ratio())});
+  }
+  table.print(out);
+}
+
+void write_sweep_csv(const SweepResult& result, std::ostream& out) {
+  CsvWriter csv(out, {"protocol", "sweep", "value", "feasible", "e_star_J",
+                      "l_star_ms", "e_best_J", "e_worst_J", "l_best_ms",
+                      "l_worst_ms", "gain_e", "gain_l"});
+  for (const auto& cell : result.cells) {
+    if (!cell.feasible()) {
+      csv.row(std::vector<std::string>{
+          result.protocol, sweep_kind_name(result.kind),
+          fmt("%.10g", cell.value), "0", "", "", "", "", "", "", "", ""});
+      continue;
+    }
+    const auto& o = *cell.outcome;
+    csv.row(std::vector<std::string>{
+        result.protocol, sweep_kind_name(result.kind),
+        fmt("%.10g", cell.value), "1", fmt("%.10g", o.nbs.energy),
+        fmt("%.10g", to_ms(o.nbs.latency)), fmt("%.10g", o.e_best()),
+        fmt("%.10g", o.e_worst()), fmt("%.10g", to_ms(o.l_best())),
+        fmt("%.10g", to_ms(o.l_worst())), fmt("%.10g", o.energy_gain_ratio()),
+        fmt("%.10g", o.latency_gain_ratio())});
+  }
+}
+
+void print_sweep_summary(const SweepResult& result, std::ostream& out) {
+  double e_lo = kInf, e_hi = -kInf;
+  for (const auto& cell : result.cells) {
+    if (!cell.feasible()) continue;
+    e_lo = std::min(e_lo, cell.outcome->nbs.energy);
+    e_hi = std::max(e_hi, cell.outcome->nbs.energy);
+  }
+  out << result.protocol << " " << sweep_kind_name(result.kind) << " sweep: "
+      << result.feasible_count() << "/" << result.cells.size()
+      << " cells feasible";
+  if (result.feasible_count() > 0) {
+    out << ", E* in [" << fmt("%.4f", e_lo) << ", " << fmt("%.4f", e_hi)
+        << "] J";
+  }
+  const auto tail = result.saturated_tail();
+  if (!tail.empty()) {
+    out << ", saturated cluster {";
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+      if (i) out << ", ";
+      out << result.cells[tail[i]].value;
+    }
+    out << "}";
+  }
+  out << "\n";
+}
+
+}  // namespace edb::core

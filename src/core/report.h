@@ -1,0 +1,23 @@
+// Rendering of sweep results: console tables and CSV.
+//
+// One place for the formatting used by the fig* benches and examples, so
+// every consumer prints the same columns (agreement, both players' optima,
+// the proportional-fairness gain ratios, infeasibility flags).
+#pragma once
+
+#include <ostream>
+
+#include "core/sweep.h"
+
+namespace edb::core {
+
+// Fixed-width table with one row per sweep cell.
+void print_sweep_table(const SweepResult& result, std::ostream& out);
+
+// CSV with the same content (header + one row per cell).
+void write_sweep_csv(const SweepResult& result, std::ostream& out);
+
+// One-line summary: feasible cells, saturation cluster, E*/L* ranges.
+void print_sweep_summary(const SweepResult& result, std::ostream& out);
+
+}  // namespace edb::core

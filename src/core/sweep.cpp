@@ -1,0 +1,95 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+
+#include "util/math.h"
+
+namespace edb::core {
+
+const char* sweep_kind_name(SweepKind kind) {
+  switch (kind) {
+    case SweepKind::kLmax: return "Lmax";
+    case SweepKind::kBudget: return "Ebudget";
+  }
+  return "?";
+}
+
+std::size_t SweepResult::feasible_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells.begin(), cells.end(),
+                    [](const SweepCell& c) { return c.feasible(); }));
+}
+
+std::vector<std::size_t> SweepResult::saturated_tail(double tol) const {
+  std::vector<std::size_t> tail;
+  const SweepCell* anchor = nullptr;
+  for (std::size_t i = cells.size(); i-- > 0;) {
+    if (!cells[i].feasible()) break;
+    if (!anchor) {
+      anchor = &cells[i];
+      tail.push_back(i);
+      continue;
+    }
+    const auto& a = anchor->outcome->nbs;
+    const auto& b = cells[i].outcome->nbs;
+    if (rel_diff(a.energy, b.energy) < tol &&
+        rel_diff(a.latency, b.latency) < tol) {
+      tail.push_back(i);
+    } else {
+      break;
+    }
+  }
+  std::reverse(tail.begin(), tail.end());
+  // A "cluster" needs at least two coinciding cells.
+  if (tail.size() < 2) tail.clear();
+  return tail;
+}
+
+SweepResult run_sweep(const mac::AnalyticMacModel& model,
+                      AppRequirements base, SweepKind kind,
+                      const std::vector<double>& values) {
+  EDB_ASSERT(!values.empty(), "sweep needs at least one value");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EDB_ASSERT(values[i] > 0, "sweep values must be positive");
+    EDB_ASSERT(i == 0 || values[i] > values[i - 1],
+               "sweep values must be ascending");
+  }
+
+  SweepResult result;
+  result.protocol = std::string(model.name());
+  result.kind = kind;
+  result.base = base;
+
+  for (double v : values) {
+    AppRequirements req = base;
+    if (kind == SweepKind::kLmax) {
+      req.l_max = v;
+    } else {
+      req.e_budget = v;
+    }
+    SweepCell cell;
+    cell.value = v;
+    EnergyDelayGame game(model, req);
+    auto outcome = game.solve();
+    if (outcome.ok()) {
+      cell.outcome = std::move(outcome).take();
+    } else {
+      cell.infeasible_reason = outcome.error().to_string();
+    }
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+SweepResult paper_fig1_sweep(const mac::AnalyticMacModel& model,
+                             AppRequirements base) {
+  return run_sweep(model, base, SweepKind::kLmax, {1, 2, 3, 4, 5, 6});
+}
+
+SweepResult paper_fig2_sweep(const mac::AnalyticMacModel& model,
+                             AppRequirements base) {
+  return run_sweep(model, base, SweepKind::kBudget,
+                   {0.01, 0.02, 0.03, 0.04, 0.05, 0.06});
+}
+
+}  // namespace edb::core

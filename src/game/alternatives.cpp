@@ -1,0 +1,106 @@
+#include "game/alternatives.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace edb::game {
+namespace {
+
+// Intersects the monotone line u(s) = v + s * dir (dir > 0 componentwise)
+// with the piecewise-linear rational frontier.  Because gains along the
+// line increase in both components while the frontier trades one utility
+// for the other, the last frontier segment the line crosses gives the
+// intersection; we scan segments and take the feasible crossing with the
+// largest s.
+Expected<UtilityPoint> line_frontier_intersection(
+    const BargainingProblem& problem, double dir1, double dir2) {
+  const auto rational = problem.rational_frontier();
+  if (rational.empty()) {
+    return make_error(ErrorCode::kInfeasible,
+                      "no individually-rational feasible point");
+  }
+  const auto& v = problem.disagreement();
+
+  double best_s = -kInf;
+  UtilityPoint best{};
+  bool found = false;
+
+  // Candidate: every frontier vertex, scored by the largest s such that
+  // v + s*dir is weakly dominated by the vertex (the agreement is feasible
+  // as long as some frontier point dominates it).
+  for (const auto& p : rational) {
+    const double s = std::min((p.u1 - v.u1) / dir1, (p.u2 - v.u2) / dir2);
+    if (s > best_s) {
+      best_s = s;
+      best = {v.u1 + s * dir1, v.u2 + s * dir2};
+      found = true;
+    }
+  }
+  // Candidate: interior of each consecutive frontier segment.  On segment
+  // a->b, the feasible s satisfies v + s*dir lying on the segment:
+  // solve the 2x2 linear system (1-t) a + t b = v + s dir.
+  for (std::size_t i = 0; i + 1 < rational.size(); ++i) {
+    const auto& a = rational[i];
+    const auto& b = rational[i + 1];
+    const double d1 = b.u1 - a.u1;
+    const double d2 = b.u2 - a.u2;
+    // a + t d = v + s dir  =>  t d1 - s dir1 = v1 - a1 ; t d2 - s dir2 = ...
+    const double det = d1 * (-dir2) - (-dir1) * d2;
+    if (std::abs(det) < 1e-300) continue;
+    const double r1 = v.u1 - a.u1;
+    const double r2 = v.u2 - a.u2;
+    const double t = (r1 * (-dir2) - (-dir1) * r2) / det;
+    const double s = (d1 * r2 - d2 * r1) / det;
+    if (t < 0.0 || t > 1.0 || s < 0.0) continue;
+    if (s > best_s) {
+      best_s = s;
+      best = {a.u1 + t * d1, a.u2 + t * d2};
+      found = true;
+    }
+  }
+
+  if (!found || best_s < 0.0) {
+    return make_error(ErrorCode::kInfeasible,
+                      "equal-gains line does not reach the frontier");
+  }
+  return best;
+}
+
+}  // namespace
+
+Expected<UtilityPoint> kalai_smorodinsky(const BargainingProblem& problem) {
+  auto ideal = problem.ideal_point();
+  if (!ideal.ok()) return ideal.error();
+  const auto& v = problem.disagreement();
+  const double g1 = ideal->u1 - v.u1;
+  const double g2 = ideal->u2 - v.u2;
+  if (g1 <= 0.0 && g2 <= 0.0) {
+    // Degenerate: the threat point is already ideal.
+    return UtilityPoint{v.u1, v.u2};
+  }
+  // Direction toward the ideal point; guard single-sided degeneracy.
+  return line_frontier_intersection(problem, std::max(g1, 1e-300),
+                                    std::max(g2, 1e-300));
+}
+
+Expected<UtilityPoint> egalitarian(const BargainingProblem& problem) {
+  // Equal absolute gains: direction (1, 1).
+  return line_frontier_intersection(problem, 1.0, 1.0);
+}
+
+Expected<UtilityPoint> utilitarian(const BargainingProblem& problem) {
+  const auto rational = problem.rational_frontier();
+  if (rational.empty()) {
+    return make_error(ErrorCode::kInfeasible,
+                      "no individually-rational feasible point");
+  }
+  UtilityPoint best = rational.front();
+  for (const auto& p : rational) {
+    if (p.u1 + p.u2 > best.u1 + best.u2) best = p;
+  }
+  return best;
+}
+
+}  // namespace edb::game

@@ -1,0 +1,33 @@
+// Alternative bargaining solution concepts, for the ablation benches.
+//
+// The paper commits to the Nash Bargaining solution; these are the standard
+// competitors it is compared against in bench/ablation_solutions:
+//
+//  * Kalai-Smorodinsky — equal *relative* gains toward the ideal point:
+//    the frontier point where (u_i - v_i)/(I_i - v_i) is equal for both
+//    players (I = ideal point).  Replaces Nash's IIA axiom with resource
+//    monotonicity.
+//  * Egalitarian — equal *absolute* gains: maximise min_i (u_i - v_i).
+//  * Utilitarian — maximise the sum u_1 + u_2 (ignores the threat point;
+//    not scale invariant).
+//
+// All operate on the convexified rational frontier so the equal-gain
+// solutions exist exactly (they are line/frontier intersections).
+#pragma once
+
+#include "game/bargaining.h"
+#include "util/error.h"
+
+namespace edb::game {
+
+// Equal relative gains toward the ideal point.
+Expected<UtilityPoint> kalai_smorodinsky(const BargainingProblem& problem);
+
+// max-min absolute gain over the threat point.
+Expected<UtilityPoint> egalitarian(const BargainingProblem& problem);
+
+// max u1 + u2 over the rational frontier (vertices suffice: linear
+// objective attains its maximum at a hull vertex).
+Expected<UtilityPoint> utilitarian(const BargainingProblem& problem);
+
+}  // namespace edb::game

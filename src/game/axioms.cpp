@@ -1,0 +1,96 @@
+#include "game/axioms.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/math.h"
+
+namespace edb::game {
+namespace {
+
+bool close(double a, double b, double tol) {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+std::string point_str(const UtilityPoint& p) {
+  std::ostringstream oss;
+  oss << "(" << p.u1 << ", " << p.u2 << ")";
+  return oss.str();
+}
+
+}  // namespace
+
+AxiomReport check_pareto_optimality(const BargainingProblem& problem,
+                                    const UtilityPoint& solution, double tol) {
+  for (const auto& p : problem.feasible()) {
+    if (p.u1 >= solution.u1 + tol && p.u2 >= solution.u2 + tol) {
+      return {false, "dominated by " + point_str(p)};
+    }
+    if ((p.u1 > solution.u1 + tol && p.u2 >= solution.u2 - tol) ||
+        (p.u2 > solution.u2 + tol && p.u1 >= solution.u1 - tol)) {
+      return {false, "weakly dominated by " + point_str(p)};
+    }
+  }
+  return {true, "no feasible point dominates " + point_str(solution)};
+}
+
+AxiomReport check_symmetry(const BargainingProblem& problem, NbsSolver solve,
+                           double tol) {
+  auto direct = solve(problem);
+  auto mirrored = solve(problem.swapped());
+  if (!direct.ok() || !mirrored.ok()) {
+    return {false, "solver failed on the problem or its mirror"};
+  }
+  const auto& d = direct->solution;
+  const auto& m = mirrored->solution;
+  if (!close(d.u1, m.u2, tol) || !close(d.u2, m.u1, tol)) {
+    return {false, "mirror solution " + point_str(m) +
+                       " is not the swap of " + point_str(d)};
+  }
+  return {true, "solution mirrors correctly: " + point_str(d)};
+}
+
+AxiomReport check_scale_invariance(const BargainingProblem& problem,
+                                   NbsSolver solve, double a1, double b1,
+                                   double a2, double b2, double tol) {
+  auto base = solve(problem);
+  auto scaled = solve(problem.rescaled(a1, b1, a2, b2));
+  if (!base.ok() || !scaled.ok()) {
+    return {false, "solver failed on the problem or its rescaling"};
+  }
+  const UtilityPoint expect{a1 * base->solution.u1 + b1,
+                            a2 * base->solution.u2 + b2};
+  if (!close(scaled->solution.u1, expect.u1, tol) ||
+      !close(scaled->solution.u2, expect.u2, tol)) {
+    return {false, "rescaled solution " + point_str(scaled->solution) +
+                       " != expected " + point_str(expect)};
+  }
+  return {true, "solution transforms covariantly"};
+}
+
+AxiomReport check_iia(const BargainingProblem& problem, NbsSolver solve,
+                      double tol) {
+  auto base = solve(problem);
+  if (!base.ok()) return {false, "solver failed on the full problem"};
+  const auto& sol = base->solution;
+
+  // Keep every other feasible point, plus anything needed to preserve the
+  // solution: the solution itself (or, for a hull solution, its segment
+  // endpoints).
+  std::vector<UtilityPoint> subset;
+  const auto& pts = problem.feasible();
+  for (std::size_t i = 0; i < pts.size(); i += 2) subset.push_back(pts[i]);
+  subset.push_back(base->segment_a);
+  subset.push_back(base->segment_b);
+
+  auto restricted = solve(problem.restricted(std::move(subset)));
+  if (!restricted.ok()) return {false, "solver failed on the restriction"};
+  if (!close(restricted->solution.u1, sol.u1, tol) ||
+      !close(restricted->solution.u2, sol.u2, tol)) {
+    return {false, "restricted solution " + point_str(restricted->solution) +
+                       " != original " + point_str(sol)};
+  }
+  return {true, "solution invariant under restriction"};
+}
+
+}  // namespace edb::game

@@ -1,0 +1,49 @@
+// Checkers for the four Nash Bargaining axioms the paper cites (§2):
+// (i) Pareto optimality, (ii) symmetry, (iii) scale independence,
+// (iv) independence of irrelevant alternatives.
+//
+// Each check re-solves a transformed problem and compares; they are the
+// backbone of the property-test suite (tests/game_axioms_test.cpp) and run
+// against both the finite and the convex-hull NBS.
+#pragma once
+
+#include <string>
+
+#include "game/bargaining.h"
+#include "game/nbs.h"
+
+namespace edb::game {
+
+struct AxiomReport {
+  bool holds = false;
+  std::string detail;  // human-readable diagnosis when the axiom fails
+};
+
+// Solver under test: either nash_bargaining or nash_bargaining_hull.
+using NbsSolver = Expected<NbsResult> (*)(const BargainingProblem&);
+
+// (i) No feasible point weakly dominates the solution.
+AxiomReport check_pareto_optimality(const BargainingProblem& problem,
+                                    const UtilityPoint& solution,
+                                    double tol = 1e-9);
+
+// (ii) On a problem invariant under swapping the players (checked against
+// the swapped instance), the solution must be symmetric: u1 == u2.
+// `problem` must be symmetric for the check to be meaningful; the checker
+// verifies solve(problem) and solve(problem.swapped()) mirror each other.
+AxiomReport check_symmetry(const BargainingProblem& problem, NbsSolver solve,
+                           double tol = 1e-9);
+
+// (iii) Rescaling utilities by positive affine maps rescales the solution
+// by the same maps.
+AxiomReport check_scale_invariance(const BargainingProblem& problem,
+                                   NbsSolver solve, double a1, double b1,
+                                   double a2, double b2, double tol = 1e-9);
+
+// (iv) Removing feasible points other than the solution (keeping the
+// solution itself) does not change the solution.  The checker restricts the
+// feasible set to a random-ish half of the points plus the solution.
+AxiomReport check_iia(const BargainingProblem& problem, NbsSolver solve,
+                      double tol = 1e-9);
+
+}  // namespace edb::game

@@ -1,0 +1,93 @@
+#include "game/bargaining.h"
+
+#include <algorithm>
+
+#include "util/math.h"
+
+namespace edb::game {
+
+std::vector<UtilityPoint> pareto_max_filter(std::vector<UtilityPoint> pts) {
+  std::sort(pts.begin(), pts.end(),
+            [](const UtilityPoint& a, const UtilityPoint& b) {
+              if (a.u1 != b.u1) return a.u1 > b.u1;  // u1 descending
+              return a.u2 > b.u2;
+            });
+  std::vector<UtilityPoint> front;
+  double best_u2 = -kInf;
+  for (const auto& p : pts) {
+    if (p.u2 > best_u2) {
+      best_u2 = p.u2;
+      front.push_back(p);
+    }
+  }
+  // Re-sort ascending in u1 for presentation (u2 then descends).
+  std::reverse(front.begin(), front.end());
+  return front;
+}
+
+BargainingProblem::BargainingProblem(std::vector<UtilityPoint> feasible,
+                                     UtilityPoint disagreement)
+    : feasible_(std::move(feasible)), disagreement_(disagreement) {
+  EDB_ASSERT(!feasible_.empty(), "bargaining problem needs feasible points");
+  frontier_ = pareto_max_filter(feasible_);
+}
+
+std::vector<UtilityPoint> BargainingProblem::rational_frontier() const {
+  std::vector<UtilityPoint> out;
+  for (const auto& p : frontier_) {
+    if (p.u1 >= disagreement_.u1 && p.u2 >= disagreement_.u2) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+Expected<UtilityPoint> BargainingProblem::ideal_point() const {
+  const auto rational = rational_frontier();
+  if (rational.empty()) {
+    return make_error(ErrorCode::kInfeasible,
+                      "no individually-rational feasible point");
+  }
+  UtilityPoint ideal{-kInf, -kInf};
+  for (const auto& p : rational) {
+    ideal.u1 = std::max(ideal.u1, p.u1);
+    ideal.u2 = std::max(ideal.u2, p.u2);
+  }
+  return ideal;
+}
+
+bool BargainingProblem::has_gains() const {
+  return std::any_of(feasible_.begin(), feasible_.end(),
+                     [&](const UtilityPoint& p) {
+                       return p.u1 > disagreement_.u1 &&
+                              p.u2 > disagreement_.u2;
+                     });
+}
+
+BargainingProblem BargainingProblem::swapped() const {
+  std::vector<UtilityPoint> pts;
+  pts.reserve(feasible_.size());
+  for (const auto& p : feasible_) pts.push_back({p.u2, p.u1});
+  return BargainingProblem(std::move(pts),
+                           {disagreement_.u2, disagreement_.u1});
+}
+
+BargainingProblem BargainingProblem::rescaled(double a1, double b1, double a2,
+                                              double b2) const {
+  EDB_ASSERT(a1 > 0 && a2 > 0, "utility rescaling must be positive affine");
+  std::vector<UtilityPoint> pts;
+  pts.reserve(feasible_.size());
+  for (const auto& p : feasible_) {
+    pts.push_back({a1 * p.u1 + b1, a2 * p.u2 + b2});
+  }
+  return BargainingProblem(
+      std::move(pts),
+      {a1 * disagreement_.u1 + b1, a2 * disagreement_.u2 + b2});
+}
+
+BargainingProblem BargainingProblem::restricted(
+    std::vector<UtilityPoint> subset) const {
+  return BargainingProblem(std::move(subset), disagreement_);
+}
+
+}  // namespace edb::game

@@ -1,0 +1,76 @@
+// Two-player bargaining problems (Nash, 1950), as used by the paper's §2.
+//
+// A bargaining problem is a pair (S, v): a feasible utility set S in R^2 and
+// a disagreement (threat) point v that players fall back to if negotiation
+// breaks down.  This module represents S by a finite sample of utility
+// points — in the paper's application these come from sweeping the MAC
+// parameter vector and mapping costs to utilities (u = worst_cost - cost,
+// so "more utility" = "more cost saved relative to the disagreement").
+//
+// The class maintains the individually-rational Pareto frontier of the
+// sample, which every solution concept in nbs.h / alternatives.h operates
+// on.
+#pragma once
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace edb::game {
+
+struct UtilityPoint {
+  double u1 = 0;
+  double u2 = 0;
+};
+
+inline bool dominates_util(const UtilityPoint& a, const UtilityPoint& b) {
+  return a.u1 >= b.u1 && a.u2 >= b.u2 && (a.u1 > b.u1 || a.u2 > b.u2);
+}
+
+class BargainingProblem {
+ public:
+  // `feasible` is a finite sample of S; `disagreement` is v.  The sample
+  // need not be filtered — construction computes the Pareto frontier.
+  BargainingProblem(std::vector<UtilityPoint> feasible,
+                    UtilityPoint disagreement);
+
+  const std::vector<UtilityPoint>& feasible() const { return feasible_; }
+  const UtilityPoint& disagreement() const { return disagreement_; }
+
+  // Pareto-maximal subset of the sample, sorted by u1 ascending
+  // (u2 is then descending).
+  const std::vector<UtilityPoint>& frontier() const { return frontier_; }
+
+  // Pareto-maximal points that also weakly improve on the disagreement.
+  std::vector<UtilityPoint> rational_frontier() const;
+
+  // Ideal (utopia) point over the rational frontier: componentwise maxima.
+  // Error when no rational point exists.
+  Expected<UtilityPoint> ideal_point() const;
+
+  // True if some feasible point strictly improves on v in both components
+  // (Nash's non-degeneracy requirement).
+  bool has_gains() const;
+
+  // Swaps the two players' roles — used by the symmetry axiom check.
+  BargainingProblem swapped() const;
+
+  // Applies u_i -> a_i * u_i + b_i (a_i > 0) — used by the scale-invariance
+  // axiom check.
+  BargainingProblem rescaled(double a1, double b1, double a2, double b2) const;
+
+  // Restricts the feasible set to the given subset (which must contain the
+  // disagreement-dominating structure the caller wants) — used by the IIA
+  // axiom check.
+  BargainingProblem restricted(std::vector<UtilityPoint> subset) const;
+
+ private:
+  std::vector<UtilityPoint> feasible_;
+  UtilityPoint disagreement_;
+  std::vector<UtilityPoint> frontier_;
+};
+
+// Pareto-maximal filter for utility maximisation, sorted by u1 ascending.
+std::vector<UtilityPoint> pareto_max_filter(std::vector<UtilityPoint> pts);
+
+}  // namespace edb::game

@@ -1,0 +1,104 @@
+#include "game/nbs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace edb::game {
+namespace {
+
+double nash_product(const UtilityPoint& u, const UtilityPoint& v) {
+  return (u.u1 - v.u1) * (u.u2 - v.u2);
+}
+
+}  // namespace
+
+// Standard monotone-chain over the Pareto staircase: keeps the subsequence
+// whose segments bow outward (concave as seen from below-left).
+std::vector<UtilityPoint> concave_hull(const std::vector<UtilityPoint>& front) {
+  std::vector<UtilityPoint> hull;
+  for (const auto& p : front) {
+    while (hull.size() >= 2) {
+      const auto& a = hull[hull.size() - 2];
+      const auto& b = hull[hull.size() - 1];
+      // Keep the hull concave (as seen from below-left): drop b if it lies
+      // on or below segment a-p.
+      const double cross =
+          (b.u1 - a.u1) * (p.u2 - a.u2) - (b.u2 - a.u2) * (p.u1 - a.u1);
+      if (cross >= 0) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    hull.push_back(p);
+  }
+  return hull;
+}
+
+Expected<NbsResult> nash_bargaining(const BargainingProblem& problem) {
+  const auto rational = problem.rational_frontier();
+  if (rational.empty()) {
+    return make_error(ErrorCode::kInfeasible,
+                      "NBS: no individually-rational feasible point");
+  }
+  const auto& v = problem.disagreement();
+  NbsResult best;
+  best.nash_product = -kInf;
+  for (const auto& p : rational) {
+    const double np = nash_product(p, v);
+    if (np > best.nash_product) {
+      best.nash_product = np;
+      best.solution = p;
+    }
+  }
+  best.segment_a = best.solution;
+  best.segment_b = best.solution;
+  best.t = 0;
+  return best;
+}
+
+Expected<NbsResult> nash_bargaining_hull(const BargainingProblem& problem) {
+  const auto rational = problem.rational_frontier();
+  if (rational.empty()) {
+    return make_error(ErrorCode::kInfeasible,
+                      "NBS: no individually-rational feasible point");
+  }
+  const auto& v = problem.disagreement();
+  const auto hull = concave_hull(rational);
+
+  // Start from the best vertex.
+  NbsResult best = nash_bargaining(problem).take();
+
+  // Then examine each hull segment: with u(t) = (1-t) a + t b,
+  // g(t) = (a1 + t*d1 - v1)(a2 + t*d2 - v2) is quadratic with negative
+  // leading coefficient (d1 > 0, d2 < 0 on a Pareto segment), so its
+  // unconstrained maximiser is at g'(t) = 0.
+  for (std::size_t i = 0; i + 1 < hull.size(); ++i) {
+    const auto& a = hull[i];
+    const auto& b = hull[i + 1];
+    const double d1 = b.u1 - a.u1;
+    const double d2 = b.u2 - a.u2;
+    const double p1 = a.u1 - v.u1;
+    const double p2 = a.u2 - v.u2;
+    // g(t) = (p1 + t d1)(p2 + t d2); g'(t) = p1 d2 + p2 d1 + 2 t d1 d2.
+    const double denom = 2.0 * d1 * d2;
+    if (denom == 0.0) continue;
+    double t = -(p1 * d2 + p2 * d1) / denom;
+    t = clamp(t, 0.0, 1.0);
+    const UtilityPoint u{a.u1 + t * d1, a.u2 + t * d2};
+    if (u.u1 < v.u1 || u.u2 < v.u2) continue;
+    const double np = nash_product(u, v);
+    if (np > best.nash_product) {
+      best.nash_product = np;
+      best.solution = u;
+      best.segment_a = a;
+      best.segment_b = b;
+      best.t = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace edb::game

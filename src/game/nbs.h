@@ -1,0 +1,44 @@
+// Nash Bargaining solution (problem (P3)/(P4) of the paper).
+//
+// Two variants over a BargainingProblem:
+//
+//  * `nash_bargaining` — maximises the Nash product
+//        (u1 - v1)(u2 - v2)
+//    over the *sampled* individually-rational frontier.  This corresponds
+//    to deterministic agreements only (pick one MAC parameter setting).
+//
+//  * `nash_bargaining_hull` — maximises the product over the convex hull of
+//    the rational frontier (Nash's original convex S; mixtures of two
+//    parameter settings are allowed).  On each hull segment the product is
+//    a concave quadratic in the mixing weight, so the maximiser is closed
+//    form; the global optimum is the best over segments.
+//
+// Both report the achieved product so callers can verify Pareto optimality
+// and the paper's proportional-fairness identity.
+#pragma once
+
+#include "game/bargaining.h"
+#include "util/error.h"
+
+namespace edb::game {
+
+struct NbsResult {
+  UtilityPoint solution;
+  double nash_product = 0;
+  // For the hull variant: the two frontier endpoints and mixing weight
+  // (solution = (1-t)*a + t*b).  For the finite variant t is 0 and a = b.
+  UtilityPoint segment_a, segment_b;
+  double t = 0;
+};
+
+// Finite-sample NBS.  Error if no individually-rational point exists.
+Expected<NbsResult> nash_bargaining(const BargainingProblem& problem);
+
+// Convexified NBS.  Error if no individually-rational point exists.
+Expected<NbsResult> nash_bargaining_hull(const BargainingProblem& problem);
+
+// Upper concave hull of a Pareto frontier sorted ascending in u1 (the
+// convexified achievable set both NBS variants maximise over).
+std::vector<UtilityPoint> concave_hull(const std::vector<UtilityPoint>& front);
+
+}  // namespace edb::game

@@ -1,0 +1,88 @@
+#include "game/weighted_nbs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace edb::game {
+namespace {
+
+double weighted_log_product(const UtilityPoint& u, const UtilityPoint& v,
+                            double alpha) {
+  const double g1 = u.u1 - v.u1;
+  const double g2 = u.u2 - v.u2;
+  if (g1 <= 0.0 || g2 <= 0.0) return -kInf;
+  return alpha * std::log(g1) + (1.0 - alpha) * std::log(g2);
+}
+
+}  // namespace
+
+Expected<NbsResult> weighted_nash_bargaining(const BargainingProblem& problem,
+                                             double alpha) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bargaining power alpha must lie in (0, 1)");
+  }
+  const auto rational = problem.rational_frontier();
+  if (rational.empty()) {
+    return make_error(ErrorCode::kInfeasible,
+                      "weighted NBS: no individually-rational point");
+  }
+  const auto& v = problem.disagreement();
+
+  NbsResult best;
+  best.nash_product = -kInf;
+  double best_log = -kInf;
+
+  auto consider = [&](const UtilityPoint& u, const UtilityPoint& a,
+                      const UtilityPoint& b, double t) {
+    const double lp = weighted_log_product(u, v, alpha);
+    if (lp > best_log) {
+      best_log = lp;
+      best.solution = u;
+      best.segment_a = a;
+      best.segment_b = b;
+      best.t = t;
+    }
+  };
+
+  for (const auto& p : rational) consider(p, p, p, 0.0);
+
+  const auto hull = concave_hull(rational);
+  for (std::size_t i = 0; i + 1 < hull.size(); ++i) {
+    const auto& a = hull[i];
+    const auto& b = hull[i + 1];
+    // Ternary search on the log-concave objective along the segment.
+    auto value = [&](double t) {
+      return weighted_log_product(
+          {a.u1 + t * (b.u1 - a.u1), a.u2 + t * (b.u2 - a.u2)}, v, alpha);
+    };
+    double lo = 0.0, hi = 1.0;
+    for (int it = 0; it < 200 && hi - lo > 1e-12; ++it) {
+      const double m1 = lo + (hi - lo) / 3.0;
+      const double m2 = hi - (hi - lo) / 3.0;
+      if (value(m1) < value(m2)) {
+        lo = m1;
+      } else {
+        hi = m2;
+      }
+    }
+    const double t = 0.5 * (lo + hi);
+    consider({a.u1 + t * (b.u1 - a.u1), a.u2 + t * (b.u2 - a.u2)}, a, b, t);
+  }
+
+  if (best_log == -kInf) {
+    // Rational points exist but none strictly improves both players: the
+    // best we can do is a weakly-improving corner (zero product).
+    best.solution = rational.front();
+    best.segment_a = best.segment_b = best.solution;
+    best.t = 0.0;
+    best.nash_product = 0.0;
+    return best;
+  }
+  best.nash_product = (best.solution.u1 - v.u1) * (best.solution.u2 - v.u2);
+  return best;
+}
+
+}  // namespace edb::game

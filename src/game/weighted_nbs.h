@@ -1,0 +1,30 @@
+// Weighted (asymmetric) Nash Bargaining solution — an extension beyond the
+// paper.
+//
+// The paper's game gives both virtual players equal bargaining power.  The
+// generalised Nash product
+//
+//     (u1 - v1)^alpha * (u2 - v2)^(1 - alpha),   alpha in (0, 1),
+//
+// lets an application bias the agreement toward one metric without turning
+// the other into a hard constraint: alpha -> 1 recovers the energy
+// player's dictatorship, alpha = 1/2 the paper's symmetric NBS.  This is
+// the standard asymmetric-NBS of Kalai (1977); it keeps Pareto optimality,
+// scale invariance and IIA but (deliberately) drops symmetry.
+//
+// Solved over the convexified rational frontier: on each hull segment the
+// weighted product is log-concave in the mixing weight, so ternary search
+// on the (unimodal) log-objective gives the segment optimum.
+#pragma once
+
+#include "game/bargaining.h"
+#include "game/nbs.h"
+#include "util/error.h"
+
+namespace edb::game {
+
+// alpha: player 1's bargaining power, in (0, 1).
+Expected<NbsResult> weighted_nash_bargaining(const BargainingProblem& problem,
+                                             double alpha);
+
+}  // namespace edb::game

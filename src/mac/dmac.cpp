@@ -1,0 +1,82 @@
+#include "mac/dmac.h"
+
+#include <algorithm>
+
+namespace edb::mac {
+
+DmacModel::DmacModel(ModelContext ctx, DmacConfig cfg)
+    : AnalyticMacModel(std::move(ctx)), cfg_(cfg),
+      space_({{"T", cfg.t_cycle_min, cfg.t_cycle_max, "s"}}) {
+  EDB_ASSERT(cfg_.t_cycle_min > 0 && cfg_.t_cycle_min < cfg_.t_cycle_max,
+             "DMAC cycle bounds invalid");
+  // The staggered schedule needs one slot per ring plus the sink's slot.
+  EDB_ASSERT(cfg_.t_cycle_min >
+                 (ctx_.ring.depth + 1) * slot_width(),
+             "minimum cycle too short for the staggered schedule");
+  EDB_ASSERT(cfg_.k_chain >= 1.0, "k_chain must be >= 1");
+}
+
+double DmacModel::slot_width() const {
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  return cfg_.t_cw + p.data_airtime(r) + p.ack_airtime(r) +
+         2.0 * r.t_turnaround;
+}
+
+PowerBreakdown DmacModel::power_at_ring(const std::vector<double>& x,
+                                        int d) const {
+  check_params(x);
+  const double t_cycle = x[0];
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+  const double mu = slot_width();
+
+  PowerBreakdown out;
+  out.cs = 2.0 * mu * r.p_rx / t_cycle;
+
+  out.tx = traffic.f_out(d) *
+           (0.5 * cfg_.t_cw * r.p_rx + p.data_airtime(r) * r.p_tx +
+            p.ack_airtime(r) * r.p_rx);
+
+  out.rx = traffic.f_in(d) * p.ack_airtime(r) * r.p_tx;
+
+  out.ovr = 0.0;  // overhearing happens inside the mandatory slots (cs)
+
+  out.stx = p.sync_airtime(r) * r.p_tx / cfg_.sync_period;
+  out.srx = (p.sync_airtime(r) + 2.0 * cfg_.sync_guard) * r.p_rx /
+            cfg_.sync_period;
+
+  out.sleep = r.p_sleep;
+  return out;
+}
+
+double DmacModel::hop_latency(const std::vector<double>& x, int) const {
+  check_params(x);
+  return slot_width();
+}
+
+double DmacModel::source_wait(const std::vector<double>& x) const {
+  check_params(x);
+  // Uniform packet generation inside the cycle: expected wait for the
+  // node's next transmit slot is half a cycle.
+  return 0.5 * x[0];
+}
+
+double DmacModel::feasibility_margin(const std::vector<double>& x) const {
+  check_params(x);
+  const double t_cycle = x[0];
+  const net::RingTraffic traffic = ctx_.traffic();
+
+  // Per-cycle chaining capacity at the bottleneck.
+  const double load = traffic.f_out(1) * t_cycle;
+  const double m_capacity = (cfg_.k_chain - load) / cfg_.k_chain;
+
+  // Staggered schedule must fit in the cycle.
+  const double needed = (ctx_.ring.depth + 1) * slot_width();
+  const double m_schedule = (t_cycle - needed) / t_cycle;
+
+  return std::min(m_capacity, m_schedule);
+}
+
+}  // namespace edb::mac

@@ -1,0 +1,69 @@
+// DMAC analytic model (Lu, Krishnamachari, Raghavendra, WCMC 2007).
+//
+// Slotted, contention-based MAC with a *staggered* wake-up schedule tailored
+// to data-gathering trees: a node at depth d opens a receive slot exactly
+// when its children (depth d+1) open their transmit slot, so a packet
+// cascades sink-wards one slot per hop within a single operational cycle —
+// DMAC's "data forwarding interruption" fix for the sleep-delay problem.
+//
+// Tunable parameter (the paper's X):
+//   x[0] = T — operational cycle length [s].
+//
+// The active slot width mu is fixed by the frame sizes: contention window +
+// data + ACK (+ turnarounds).  Every node is active in both its receive and
+// its transmit slot every cycle (the original protocol keeps both open to
+// support slot chaining), so the duty-cycle cost is 2*mu/T.
+//
+// Power terms at ring d:
+//   cs  = 2*mu*Prx / T                        mandatory rx+tx slots
+//   tx  = f_out * [ (cw/2)*Prx + t_data*Ptx + t_ack*Prx ]
+//   rx  = f_in  * t_ack*Ptx                   incremental: data reception
+//         replaces idle listening already billed to cs at the same power
+//   ovr = 0                                   overheard traffic arrives
+//         while the node is mandatorily awake (billed to cs)
+//   stx/srx: schedule-sync beacon exchange every sync_period
+//
+// Latency: the source waits T/2 on average for its transmit slot, then the
+// packet cascades at one slot (mu) per hop: L = T/2 + D*mu.
+//
+// Feasibility: at most `k_chain` packets can be chained per active period,
+// so f_out(1) * T <= k_chain.
+#pragma once
+
+#include "mac/model.h"
+
+namespace edb::mac {
+
+struct DmacConfig {
+  double t_cycle_min = 0.5;   // [s]
+  double t_cycle_max = 12.0;  // [s] bounded by schedule-sync drift tolerance
+  double t_cw = 7e-3;         // [s] contention window inside a slot
+  double k_chain = 5.0;       // max packets relayed per active period
+  double sync_period = 100.0; // [s] between schedule-sync beacons
+  double sync_guard = 2e-3;   // [s] rx guard around the parent's beacon
+};
+
+class DmacModel final : public AnalyticMacModel {
+ public:
+  explicit DmacModel(ModelContext ctx, DmacConfig cfg = {});
+
+  std::string_view name() const override { return "DMAC"; }
+  const ParamSpace& params() const override { return space_; }
+
+  PowerBreakdown power_at_ring(const std::vector<double>& x,
+                               int d) const override;
+  double hop_latency(const std::vector<double>& x, int d) const override;
+  double source_wait(const std::vector<double>& x) const override;
+  double feasibility_margin(const std::vector<double>& x) const override;
+
+  const DmacConfig& config() const { return cfg_; }
+
+  // Active slot width mu [s]: contention window + data + ACK + turnarounds.
+  double slot_width() const;
+
+ private:
+  DmacConfig cfg_;
+  ParamSpace space_;
+};
+
+}  // namespace edb::mac

@@ -1,0 +1,69 @@
+#include "mac/lmac.h"
+
+#include <algorithm>
+
+namespace edb::mac {
+
+LmacModel::LmacModel(ModelContext ctx, LmacConfig cfg)
+    : AnalyticMacModel(std::move(ctx)), cfg_(cfg),
+      space_({{"t_slot", cfg.t_slot_min, cfg.t_slot_max, "s"}}) {
+  EDB_ASSERT(cfg_.t_slot_min > 0 && cfg_.t_slot_min < cfg_.t_slot_max,
+             "LMAC slot bounds invalid");
+  // Slot reuse needs the 2-hop neighbourhood to fit in one frame.
+  EDB_ASSERT(cfg_.n_slots >= static_cast<int>(2 * ctx_.ring.density) + 2,
+             "LMAC frame too short for collision-free slot assignment");
+  EDB_ASSERT(cfg_.t_slot_min >= min_slot_width(),
+             "minimum slot width cannot fit CM + data");
+}
+
+double LmacModel::min_slot_width() const {
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  return r.t_startup + p.ctrl_airtime(r) + p.data_airtime(r) + cfg_.guard;
+}
+
+PowerBreakdown LmacModel::power_at_ring(const std::vector<double>& x,
+                                        int d) const {
+  check_params(x);
+  const double t_slot = x[0];
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+  const double frame = cfg_.n_slots * t_slot;
+  const double t_cm = p.ctrl_airtime(r);
+
+  PowerBreakdown out;
+  out.stx = (r.t_startup * r.p_rx + t_cm * r.p_tx) / frame;
+  out.srx =
+      (cfg_.n_slots - 1) * (r.t_startup + t_cm) * r.p_rx / frame;
+
+  out.tx = traffic.f_out(d) * p.data_airtime(r) * r.p_tx;
+  out.rx = traffic.f_in(d) * p.data_airtime(r) * r.p_rx;
+
+  out.sleep = r.p_sleep;
+  return out;
+}
+
+double LmacModel::hop_latency(const std::vector<double>& x, int) const {
+  check_params(x);
+  const double t_slot = x[0];
+  // Average wait for the node's own slot (uniform slot position in the
+  // frame) plus the owned slot itself.
+  return (0.5 * cfg_.n_slots + 1.0) * t_slot;
+}
+
+double LmacModel::feasibility_margin(const std::vector<double>& x) const {
+  check_params(x);
+  const double t_slot = x[0];
+  const net::RingTraffic traffic = ctx_.traffic();
+
+  const double m_fit = (t_slot - min_slot_width()) / t_slot;
+
+  // One owned data slot per frame at the bottleneck.
+  const double load = traffic.f_out(1) * frame_length(x);
+  const double m_capacity = 1.0 - load;
+
+  return std::min(m_fit, m_capacity);
+}
+
+}  // namespace edb::mac

@@ -1,0 +1,69 @@
+// LMAC analytic model (van Hoesel & Havinga, INSS 2004).
+//
+// Frame-based TDMA: time is divided into frames of `n_slots` slots and every
+// node owns one slot per frame.  Each slot opens with a short control
+// message (CM) from the slot owner announcing, among other things, the
+// destination of the data that follows.  All neighbours briefly wake for
+// every CM; only the addressed node stays for the data.  Transmissions are
+// collision-free, so there are no ACKs and no carrier sensing.
+//
+// Tunable parameter (the paper's X — the frame length, via the slot width):
+//   x[0] = t_slot — slot duration [s]; frame length = n_slots * t_slot.
+//
+// Power terms at ring d:
+//   stx = (t_startup*Prx + t_cm*Ptx) / (n*t_slot)     own CM every frame
+//   srx = (n-1) * (t_startup + t_cm) * Prx / (n*t_slot)  listen to all CMs
+//   tx  = f_out * t_data * Ptx                         collision-free data
+//   rx  = f_in  * t_data * Prx
+//   cs = ovr = 0 (TDMA: no sensing; non-addressed data slept through)
+//
+// The per-slot radio startup is charged because the node returns to sleep
+// between control sections: n wake-ups per frame dominate LMAC's cost and
+// make it the most expensive of the three protocols at tight delay bounds
+// (paper Fig. 1c/2c, E axis up to 0.25 J).
+//
+// Latency per hop: slots are assigned without depth ordering, so after
+// receiving a packet a node waits on average half a frame for its own slot,
+// then transmits in it: (n/2)*t_slot + t_slot.
+//
+// Feasibility: the slot must fit startup + CM + data + guard, and a node
+// gets one data slot per frame: f_out(1) * n * t_slot <= 1.
+#pragma once
+
+#include "mac/model.h"
+
+namespace edb::mac {
+
+struct LmacConfig {
+  int n_slots = 16;          // slots per frame (>= 2*density + 2 for reuse)
+  double t_slot_min = 3e-3;  // [s]
+  double t_slot_max = 0.6;   // [s]
+  double guard = 0.5e-3;     // [s] intra-slot guard time
+};
+
+class LmacModel final : public AnalyticMacModel {
+ public:
+  explicit LmacModel(ModelContext ctx, LmacConfig cfg = {});
+
+  std::string_view name() const override { return "LMAC"; }
+  const ParamSpace& params() const override { return space_; }
+
+  PowerBreakdown power_at_ring(const std::vector<double>& x,
+                               int d) const override;
+  double hop_latency(const std::vector<double>& x, int d) const override;
+  double feasibility_margin(const std::vector<double>& x) const override;
+
+  const LmacConfig& config() const { return cfg_; }
+
+  double frame_length(const std::vector<double>& x) const {
+    return cfg_.n_slots * x[0];
+  }
+  // Minimum slot width that fits startup + CM + data + guard.
+  double min_slot_width() const;
+
+ private:
+  LmacConfig cfg_;
+  ParamSpace space_;
+};
+
+}  // namespace edb::mac

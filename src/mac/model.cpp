@@ -1,0 +1,127 @@
+#include "mac/model.h"
+
+#include <algorithm>
+
+#include "util/math.h"
+
+namespace edb::mac {
+
+ParamSpace::ParamSpace(std::vector<ParamInfo> params)
+    : params_(std::move(params)) {
+  for (const ParamInfo& p : params_) {
+    EDB_ASSERT(p.lo < p.hi, "parameter bounds must satisfy lo < hi");
+  }
+}
+
+const ParamInfo& ParamSpace::info(std::size_t i) const {
+  EDB_ASSERT(i < params_.size(), "parameter index out of range");
+  return params_[i];
+}
+
+std::vector<double> ParamSpace::lower() const {
+  std::vector<double> out;
+  out.reserve(params_.size());
+  for (const auto& p : params_) out.push_back(p.lo);
+  return out;
+}
+
+std::vector<double> ParamSpace::upper() const {
+  std::vector<double> out;
+  out.reserve(params_.size());
+  for (const auto& p : params_) out.push_back(p.hi);
+  return out;
+}
+
+std::vector<double> ParamSpace::midpoint() const {
+  std::vector<double> out;
+  out.reserve(params_.size());
+  for (const auto& p : params_) out.push_back(0.5 * (p.lo + p.hi));
+  return out;
+}
+
+std::vector<double> ParamSpace::clamp(std::vector<double> x) const {
+  EDB_ASSERT(x.size() == params_.size(), "parameter dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = edb::clamp(x[i], params_[i].lo, params_[i].hi);
+  }
+  return x;
+}
+
+bool ParamSpace::contains(const std::vector<double>& x, double tol) const {
+  if (x.size() != params_.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < params_[i].lo - tol || x[i] > params_[i].hi + tol) return false;
+  }
+  return true;
+}
+
+Expected<bool> ModelContext::validate() const {
+  if (auto r = radio.validate(); !r.ok()) return r;
+  if (auto r = packet.validate(); !r.ok()) return r;
+  if (auto r = ring.validate(); !r.ok()) return r;
+  if (fs <= 0.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "sampling rate must be positive");
+  }
+  if (energy_epoch <= 0.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "energy epoch must be positive");
+  }
+  return true;
+}
+
+AnalyticMacModel::AnalyticMacModel(ModelContext ctx) : ctx_(std::move(ctx)) {
+  EDB_ASSERT(ctx_.validate().ok(), "invalid model context");
+}
+
+double AnalyticMacModel::source_wait(const std::vector<double>&) const {
+  return 0.0;
+}
+
+void AnalyticMacModel::check_params(const std::vector<double>& x) const {
+  EDB_ASSERT(x.size() == params().dim(), "parameter dimension mismatch");
+  EDB_ASSERT(params().contains(x, 1e-9),
+             "parameter vector outside the model's box");
+}
+
+double AnalyticMacModel::energy(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (int d = 1; d <= ctx_.ring.depth; ++d) {
+    worst = std::max(worst, power_at_ring(x, d).total());
+  }
+  return worst * ctx_.energy_epoch;
+}
+
+PowerBreakdown AnalyticMacModel::energy_breakdown(const std::vector<double>& x,
+                                                  int d) const {
+  PowerBreakdown p = power_at_ring(x, d);
+  p.cs *= ctx_.energy_epoch;
+  p.tx *= ctx_.energy_epoch;
+  p.rx *= ctx_.energy_epoch;
+  p.ovr *= ctx_.energy_epoch;
+  p.stx *= ctx_.energy_epoch;
+  p.srx *= ctx_.energy_epoch;
+  p.sleep *= ctx_.energy_epoch;
+  return p;
+}
+
+int AnalyticMacModel::bottleneck_ring(const std::vector<double>& x) const {
+  int best = 1;
+  double worst = -1.0;
+  for (int d = 1; d <= ctx_.ring.depth; ++d) {
+    const double p = power_at_ring(x, d).total();
+    if (p > worst) {
+      worst = p;
+      best = d;
+    }
+  }
+  return best;
+}
+
+double AnalyticMacModel::latency(const std::vector<double>& x) const {
+  double total = source_wait(x);
+  for (int d = 1; d <= ctx_.ring.depth; ++d) total += hop_latency(x, d);
+  return total;
+}
+
+}  // namespace edb::mac

@@ -1,0 +1,146 @@
+// Analytic duty-cycled MAC model interface.
+//
+// A model maps a tunable parameter vector X (the paper's `X in Theta`) to
+// the two performance metrics the game is played over:
+//
+//   energy(X)  — joules consumed per accounting epoch at the bottleneck
+//                node (ring d = 1 carries the whole network's load).  The
+//                paper's E axis; decomposed into the six terms of §2:
+//                E = Ecs + Etx + Erx + Eovr + Estx + Esrx  (plus sleep).
+//   latency(X) — worst-case expected end-to-end delay in seconds (from a
+//                ring-D node to the sink).  The paper's L axis.
+//
+// Both are smooth in X inside the box `params()`; `feasibility_margin`
+// exposes protocol-specific constraints (duty cycle <= 1, per-cycle
+// capacity, slot sizing) as a signed slack so solvers can penalise
+// violations smoothly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/radio.h"
+#include "net/ring.h"
+#include "util/error.h"
+
+namespace edb::mac {
+
+// Average power per MAC activity [W]; the paper's six-term decomposition
+// plus the (tiny) sleep-mode draw.  Multiply by the epoch to get joules.
+struct PowerBreakdown {
+  double cs = 0;    // carrier sensing / idle listening / channel polling
+  double tx = 0;    // data transmission (incl. preambles, contention)
+  double rx = 0;    // data reception (incl. ack transmission by receiver)
+  double ovr = 0;   // overhearing traffic addressed to others
+  double stx = 0;   // synchronisation / schedule transmission
+  double srx = 0;   // synchronisation / schedule reception
+  double sleep = 0; // sleep-mode floor
+
+  double total() const { return cs + tx + rx + ovr + stx + srx + sleep; }
+
+  PowerBreakdown& operator+=(const PowerBreakdown& o) {
+    cs += o.cs; tx += o.tx; rx += o.rx; ovr += o.ovr;
+    stx += o.stx; srx += o.srx; sleep += o.sleep;
+    return *this;
+  }
+};
+
+// One tunable parameter: closed box bounds plus presentation metadata.
+struct ParamInfo {
+  std::string name;
+  double lo = 0;
+  double hi = 1;
+  std::string unit;  // "s", "slots", ...
+};
+
+// The box Theta the optimisation runs over.
+class ParamSpace {
+ public:
+  ParamSpace() = default;
+  explicit ParamSpace(std::vector<ParamInfo> params);
+
+  std::size_t dim() const { return params_.size(); }
+  const ParamInfo& info(std::size_t i) const;
+  const std::vector<ParamInfo>& all() const { return params_; }
+
+  std::vector<double> lower() const;
+  std::vector<double> upper() const;
+  // Box midpoint — a safe starting iterate.
+  std::vector<double> midpoint() const;
+  // Componentwise clamp into the box.
+  std::vector<double> clamp(std::vector<double> x) const;
+  bool contains(const std::vector<double>& x, double tol = 1e-12) const;
+
+ private:
+  std::vector<ParamInfo> params_;
+};
+
+// Everything a protocol model needs about the deployment.  The defaults are
+// the calibration used for the paper's figures (see DESIGN.md §5): CC2420
+// radio, 32 B payloads, D = 5 rings, density C = 7, one sample per ~4.3 h,
+// and a 100 s energy accounting epoch.
+struct ModelContext {
+  net::RadioParams radio = net::RadioParams::cc2420();
+  net::PacketFormat packet = net::PacketFormat::default_wsn();
+  net::RingTopology ring{};
+  double fs = 6.5e-5;          // per-source sampling rate [packets/s]
+  double energy_epoch = 100.0; // accounting horizon for E [s]
+
+  Expected<bool> validate() const;
+  net::RingTraffic traffic() const { return net::RingTraffic(ring, fs); }
+};
+
+class AnalyticMacModel {
+ public:
+  explicit AnalyticMacModel(ModelContext ctx);
+  virtual ~AnalyticMacModel() = default;
+
+  AnalyticMacModel(const AnalyticMacModel&) = delete;
+  AnalyticMacModel& operator=(const AnalyticMacModel&) = delete;
+
+  virtual std::string_view name() const = 0;
+  virtual const ParamSpace& params() const = 0;
+
+  // Average radio power of a node in ring d under parameters x [W].
+  virtual PowerBreakdown power_at_ring(const std::vector<double>& x,
+                                       int d) const = 0;
+
+  // Expected one-hop forwarding latency at ring d [s]: time from the packet
+  // being ready at a ring-d node to its reception at the ring-(d-1) parent.
+  virtual double hop_latency(const std::vector<double>& x, int d) const = 0;
+
+  // Extra latency paid once at the source before the first hop (e.g. the
+  // DMAC wait for the node's staggered transmit slot).  Default: 0.
+  virtual double source_wait(const std::vector<double>& x) const;
+
+  // Signed feasibility slack: > 0 strictly feasible, <= 0 infeasible.
+  // Units are normalised so that -1 is "badly infeasible".
+  virtual double feasibility_margin(const std::vector<double>& x) const = 0;
+
+  bool feasible(const std::vector<double>& x) const {
+    return feasibility_margin(x) > 0.0;
+  }
+
+  // E(X): joules per energy epoch at the bottleneck ring (max over rings).
+  double energy(const std::vector<double>& x) const;
+  // Per-ring epoch energy decomposition [J].
+  PowerBreakdown energy_breakdown(const std::vector<double>& x, int d) const;
+  // Index of the ring with maximal power draw.
+  int bottleneck_ring(const std::vector<double>& x) const;
+
+  // L(X): worst-case expected e2e delay [s] (source wait + D hop latencies).
+  double latency(const std::vector<double>& x) const;
+
+  const ModelContext& context() const { return ctx_; }
+
+ protected:
+  // Checks x dimension and box membership (asserts on violation; models are
+  // always called through solvers that clamp first).
+  void check_params(const std::vector<double>& x) const;
+
+  ModelContext ctx_;
+};
+
+}  // namespace edb::mac

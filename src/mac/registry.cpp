@@ -1,0 +1,65 @@
+#include "mac/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "mac/bmac.h"
+#include "mac/dmac.h"
+#include "mac/lmac.h"
+#include "mac/scpmac.h"
+#include "mac/smac.h"
+#include "mac/wisemac.h"
+#include "mac/xmac.h"
+
+namespace edb::mac {
+namespace {
+
+std::string canonical(std::string_view name) {
+  std::string out;
+  for (char c : name) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> registered_protocols() {
+  return {"X-MAC", "DMAC", "LMAC", "B-MAC", "SCP-MAC", "S-MAC",
+          "WiseMAC"};
+}
+
+std::vector<std::string> paper_protocols() {
+  return {"X-MAC", "DMAC", "LMAC"};
+}
+
+Expected<std::unique_ptr<AnalyticMacModel>> make_model(std::string_view name,
+                                                       ModelContext ctx) {
+  const std::string key = canonical(name);
+  if (key == "xmac") {
+    return std::unique_ptr<AnalyticMacModel>(new XmacModel(std::move(ctx)));
+  }
+  if (key == "dmac") {
+    return std::unique_ptr<AnalyticMacModel>(new DmacModel(std::move(ctx)));
+  }
+  if (key == "lmac") {
+    return std::unique_ptr<AnalyticMacModel>(new LmacModel(std::move(ctx)));
+  }
+  if (key == "bmac") {
+    return std::unique_ptr<AnalyticMacModel>(new BmacModel(std::move(ctx)));
+  }
+  if (key == "scpmac") {
+    return std::unique_ptr<AnalyticMacModel>(new ScpmacModel(std::move(ctx)));
+  }
+  if (key == "smac") {
+    return std::unique_ptr<AnalyticMacModel>(new SmacModel(std::move(ctx)));
+  }
+  if (key == "wisemac") {
+    return std::unique_ptr<AnalyticMacModel>(new WisemacModel(std::move(ctx)));
+  }
+  return make_error(ErrorCode::kNotFound,
+                    "unknown MAC protocol: " + std::string(name));
+}
+
+}  // namespace edb::mac

@@ -1,0 +1,29 @@
+// Name-based factory for analytic MAC models.
+//
+// Benches and examples select protocols by the names the paper uses
+// ("X-MAC", "DMAC", "LMAC"); the extension baselines ("B-MAC", "SCP-MAC",
+// and the 2-D-parameter "S-MAC") are also registered.  Matching is case-insensitive and
+// ignores '-' so "xmac" works too.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mac/model.h"
+#include "util/error.h"
+
+namespace edb::mac {
+
+// All registered protocol names, paper protocols first.
+std::vector<std::string> registered_protocols();
+
+// The three protocols the paper evaluates.
+std::vector<std::string> paper_protocols();
+
+// Instantiates a model with default protocol configuration over `ctx`.
+Expected<std::unique_ptr<AnalyticMacModel>> make_model(std::string_view name,
+                                                       ModelContext ctx);
+
+}  // namespace edb::mac

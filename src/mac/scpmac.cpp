@@ -1,0 +1,71 @@
+#include "mac/scpmac.h"
+
+#include <algorithm>
+
+namespace edb::mac {
+
+ScpmacModel::ScpmacModel(ModelContext ctx, ScpmacConfig cfg)
+    : AnalyticMacModel(std::move(ctx)), cfg_(cfg),
+      space_({{"Tp", cfg.tp_min, cfg.tp_max, "s"}}) {
+  EDB_ASSERT(cfg_.tp_min > 0 && cfg_.tp_min < cfg_.tp_max,
+             "SCP-MAC poll-period bounds invalid");
+}
+
+double ScpmacModel::tone_duration() const {
+  return ctx_.radio.poll_duration() + cfg_.tone_guard;
+}
+
+PowerBreakdown ScpmacModel::power_at_ring(const std::vector<double>& x,
+                                          int d) const {
+  check_params(x);
+  const double tp = x[0];
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+  const double t_data = p.data_airtime(r);
+  const double t_ack = p.ack_airtime(r);
+  const double t_tone = tone_duration();
+  const double t_hdr = r.airtime(p.header_bytes * 8.0);
+
+  PowerBreakdown out;
+  out.cs = r.p_rx * r.poll_duration() / tp;
+  out.tx = traffic.f_out(d) *
+           (t_tone * r.p_tx + t_data * r.p_tx + t_ack * r.p_rx);
+  out.rx = traffic.f_in(d) *
+           (t_tone * r.p_rx + t_data * r.p_rx + t_ack * r.p_tx);
+  out.ovr = traffic.f_bg(d) * (t_tone + t_hdr) * r.p_rx;
+
+  out.stx = p.sync_airtime(r) * r.p_tx / cfg_.sync_period;
+  out.srx = (p.sync_airtime(r) + 2.0 * cfg_.sync_guard) * r.p_rx /
+            cfg_.sync_period;
+
+  out.sleep = r.p_sleep;
+  return out;
+}
+
+double ScpmacModel::hop_latency(const std::vector<double>& x, int) const {
+  check_params(x);
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  return 0.5 * x[0] + tone_duration() + p.data_airtime(r) + p.ack_airtime(r);
+}
+
+double ScpmacModel::feasibility_margin(const std::vector<double>& x) const {
+  check_params(x);
+  const double tp = x[0];
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+
+  // One packet exchange per poll period per link direction.
+  const double per_pkt = tone_duration() + p.data_airtime(r) +
+                         p.ack_airtime(r);
+  const double busy = (traffic.f_out(1) + traffic.f_in(1)) * per_pkt;
+  const double m_util = (cfg_.max_utilisation - busy) / cfg_.max_utilisation;
+
+  // Poll period must exceed one full exchange.
+  const double m_period = (tp - 2.0 * per_pkt) / tp;
+  return std::min(m_util, m_period);
+}
+
+}  // namespace edb::mac

@@ -1,0 +1,69 @@
+#include "mac/wisemac.h"
+
+#include <algorithm>
+
+namespace edb::mac {
+
+WisemacModel::WisemacModel(ModelContext ctx, WisemacConfig cfg)
+    : AnalyticMacModel(std::move(ctx)), cfg_(cfg),
+      space_({{"Tw", cfg.tw_min, cfg.tw_max, "s"}}) {
+  EDB_ASSERT(cfg_.tw_min > 0 && cfg_.tw_min < cfg_.tw_max,
+             "WiseMAC sampling-period bounds invalid");
+  EDB_ASSERT(cfg_.clock_drift > 0, "clock drift must be positive");
+}
+
+double WisemacModel::preamble_duration(const std::vector<double>& x,
+                                       int d) const {
+  check_params(x);
+  const net::RingTraffic traffic = ctx_.traffic();
+  // Uplink exchange interval: one forwarded packet every 1/f_out seconds
+  // refreshes the parent's schedule estimate.
+  const double interval = 1.0 / traffic.f_out(d);
+  return std::min(4.0 * cfg_.clock_drift * interval, x[0]);
+}
+
+PowerBreakdown WisemacModel::power_at_ring(const std::vector<double>& x,
+                                           int d) const {
+  check_params(x);
+  const double tw = x[0];
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+  const double t_data = p.data_airtime(r);
+  const double t_ack = p.ack_airtime(r);
+  const double t_pre = preamble_duration(x, d);
+  const double t_hdr = r.airtime(p.header_bytes * 8.0);
+
+  PowerBreakdown out;
+  out.cs = r.p_rx * r.poll_duration() / tw;
+  out.tx =
+      traffic.f_out(d) * (t_pre * r.p_tx + t_data * r.p_tx + t_ack * r.p_rx);
+  out.rx = traffic.f_in(d) *
+           (0.5 * t_pre * r.p_rx + t_data * r.p_rx + t_ack * r.p_tx);
+  const double p_hit = std::min(1.0, t_pre / tw);
+  out.ovr = traffic.f_bg(d) * p_hit * (0.5 * t_pre + t_hdr) * r.p_rx;
+  out.sleep = r.p_sleep;
+  return out;
+}
+
+double WisemacModel::hop_latency(const std::vector<double>& x, int d) const {
+  check_params(x);
+  return 0.5 * x[0] + 0.5 * preamble_duration(x, d) +
+         ctx_.packet.data_airtime(ctx_.radio);
+}
+
+double WisemacModel::feasibility_margin(const std::vector<double>& x) const {
+  check_params(x);
+  const double tw = x[0];
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+  const double per_pkt = preamble_duration(x, 1) + p.data_airtime(ctx_.radio) +
+                         p.ack_airtime(ctx_.radio);
+  const double busy = (traffic.f_out(1) + traffic.f_in(1)) * per_pkt;
+  const double m_util = (cfg_.max_utilisation - busy) / cfg_.max_utilisation;
+  // At least a couple of sampling periods of headroom for the handshake.
+  const double m_period = (tw - 4.0 * p.data_airtime(ctx_.radio)) / tw;
+  return std::min(m_util, m_period);
+}
+
+}  // namespace edb::mac

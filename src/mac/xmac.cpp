@@ -1,0 +1,84 @@
+#include "mac/xmac.h"
+
+#include <algorithm>
+
+namespace edb::mac {
+
+XmacModel::XmacModel(ModelContext ctx, XmacConfig cfg)
+    : AnalyticMacModel(std::move(ctx)), cfg_(cfg),
+      space_({{"Tw", cfg.tw_min, cfg.tw_max, "s"}}) {
+  EDB_ASSERT(cfg_.tw_min > 0 && cfg_.tw_min < cfg_.tw_max,
+             "X-MAC wake-interval bounds invalid");
+  EDB_ASSERT(cfg_.tw_min > 2.0 * strobe_period(),
+             "wake interval must exceed two strobe periods");
+}
+
+double XmacModel::strobe_period() const {
+  const auto& r = ctx_.radio;
+  // Strobe airtime + rx/tx turnaround + early-ACK listening gap.
+  return ctx_.packet.strobe_airtime(r) + 2.0 * r.t_turnaround +
+         ctx_.packet.ack_airtime(r);
+}
+
+PowerBreakdown XmacModel::power_at_ring(const std::vector<double>& x,
+                                        int d) const {
+  check_params(x);
+  const double tw = x[0];
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+
+  const double t_data = p.data_airtime(r);
+  const double t_ack = p.ack_airtime(r);
+  const double t_strobe = p.strobe_airtime(r);
+  const double t_gap = strobe_period() - t_strobe;
+  const double rho = t_strobe / (t_strobe + t_gap);
+
+  PowerBreakdown out;
+  out.cs = r.p_rx * r.poll_duration() / tw;
+
+  const double e_tx_pkt = 0.5 * tw * (rho * r.p_tx + (1.0 - rho) * r.p_rx) +
+                          t_ack * r.p_rx + t_data * r.p_tx;
+  out.tx = traffic.f_out(d) * e_tx_pkt;
+
+  const double e_rx_pkt =
+      (t_strobe + t_gap) * r.p_rx + t_ack * r.p_tx + t_data * r.p_rx;
+  out.rx = traffic.f_in(d) * e_rx_pkt;
+
+  constexpr double kPollHitsPreamble = 0.5;  // (Tw/2) / Tw
+  out.ovr = traffic.f_bg(d) * kPollHitsPreamble * (t_strobe + t_gap) * r.p_rx;
+
+  out.sleep = r.p_sleep;
+  return out;
+}
+
+double XmacModel::hop_latency(const std::vector<double>& x, int) const {
+  check_params(x);
+  const double tw = x[0];
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  return 0.5 * tw + strobe_period() + p.ack_airtime(r) + p.data_airtime(r);
+}
+
+double XmacModel::feasibility_margin(const std::vector<double>& x) const {
+  check_params(x);
+  const double tw = x[0];
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+
+  // Medium occupancy at the bottleneck ring: each forwarded packet holds the
+  // channel for the average preamble plus the data exchange; each received
+  // packet likewise (it is the same exchange seen from the other side, but
+  // the node is busy during both).
+  const double per_pkt = 0.5 * tw + p.data_airtime(r) + p.ack_airtime(r);
+  const double busy = (traffic.f_out(1) + traffic.f_in(1)) * per_pkt;
+  const double m_util = (cfg_.max_utilisation - busy) / cfg_.max_utilisation;
+
+  // The strobe train must contain at least two strobes per wake interval.
+  const double m_strobe = (tw - 2.0 * strobe_period()) / tw;
+
+  return std::min(m_util, m_strobe);
+}
+
+}  // namespace edb::mac

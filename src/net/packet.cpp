@@ -1,0 +1,20 @@
+#include "net/packet.h"
+
+namespace edb::net {
+
+Expected<bool> PacketFormat::validate() const {
+  if (payload_bytes < 0 || header_bytes <= 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "payload must be >= 0 and header > 0 bytes");
+  }
+  if (ack_bytes <= 0 || strobe_bytes <= 0 || ctrl_bytes <= 0 ||
+      sync_bytes <= 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "control frame sizes must be positive");
+  }
+  return true;
+}
+
+PacketFormat PacketFormat::default_wsn() { return PacketFormat{}; }
+
+}  // namespace edb::net

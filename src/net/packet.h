@@ -1,0 +1,56 @@
+// Frame formats shared by all MAC models.
+//
+// Sizes are in bytes; airtimes are derived against a RadioParams.  One
+// PacketFormat instance describes the whole frame zoo a duty-cycled WSN MAC
+// uses: data frames, ACKs, X-MAC preamble strobes, LMAC control messages and
+// DMAC schedule-sync beacons.
+#pragma once
+
+#include "net/radio.h"
+#include "util/error.h"
+
+namespace edb::net {
+
+struct PacketFormat {
+  // Application payload carried by one data frame [bytes].
+  double payload_bytes = 32;
+  // MAC + PHY header/footer on a data frame [bytes].
+  double header_bytes = 16;
+  // Link-layer acknowledgement [bytes].
+  double ack_bytes = 10;
+  // One X-MAC preamble strobe (contains target address) [bytes].
+  double strobe_bytes = 10;
+  // LMAC slot control message [bytes].
+  double ctrl_bytes = 12;
+  // Schedule synchronisation beacon (DMAC/SCP-MAC) [bytes].
+  double sync_bytes = 16;
+
+  double data_bits() const { return (payload_bytes + header_bytes) * 8.0; }
+  double ack_bits() const { return ack_bytes * 8.0; }
+  double strobe_bits() const { return strobe_bytes * 8.0; }
+  double ctrl_bits() const { return ctrl_bytes * 8.0; }
+  double sync_bits() const { return sync_bytes * 8.0; }
+
+  double data_airtime(const RadioParams& radio) const {
+    return radio.airtime(data_bits());
+  }
+  double ack_airtime(const RadioParams& radio) const {
+    return radio.airtime(ack_bits());
+  }
+  double strobe_airtime(const RadioParams& radio) const {
+    return radio.airtime(strobe_bits());
+  }
+  double ctrl_airtime(const RadioParams& radio) const {
+    return radio.airtime(ctrl_bits());
+  }
+  double sync_airtime(const RadioParams& radio) const {
+    return radio.airtime(sync_bits());
+  }
+
+  Expected<bool> validate() const;
+
+  // 32-byte payload, 802.15.4-ish overheads (the defaults above).
+  static PacketFormat default_wsn();
+};
+
+}  // namespace edb::net

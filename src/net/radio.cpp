@@ -1,0 +1,52 @@
+#include "net/radio.h"
+
+namespace edb::net {
+
+Expected<bool> RadioParams::validate() const {
+  if (p_tx <= 0 || p_rx <= 0 || p_sleep < 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "radio powers must be positive (sleep >= 0)");
+  }
+  if (p_sleep >= p_rx || p_sleep >= p_tx) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "sleep power must be below active powers");
+  }
+  if (bitrate <= 0) {
+    return make_error(ErrorCode::kInvalidArgument, "bitrate must be positive");
+  }
+  if (t_startup < 0 || t_turnaround < 0 || t_cca < 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "timing overheads must be non-negative");
+  }
+  return true;
+}
+
+RadioParams RadioParams::cc2420() {
+  RadioParams r;
+  r.name = "cc2420";
+  // 0 dBm TX: 17.4 mA, RX: 18.8 mA at 3 V.
+  r.p_tx = 0.0522;
+  r.p_rx = 0.0564;
+  r.p_sleep = 3.0e-6;
+  r.bitrate = 250e3;
+  r.t_startup = 0.5e-3;
+  r.t_turnaround = 0.2e-3;
+  r.t_cca = 0.3e-3;
+  return r;
+}
+
+RadioParams RadioParams::cc1000() {
+  RadioParams r;
+  r.name = "cc1000";
+  // 915 MHz, 5 dBm TX: 25.4 mA, RX: 9.6 mA at 3 V; byte-level radio.
+  r.p_tx = 0.0762;
+  r.p_rx = 0.0288;
+  r.p_sleep = 0.6e-6;
+  r.bitrate = 19.2e3;
+  r.t_startup = 2.0e-3;
+  r.t_turnaround = 0.5e-3;
+  r.t_cca = 0.45e-3;
+  return r;
+}
+
+}  // namespace edb::net

@@ -1,0 +1,47 @@
+// Radio hardware model: per-state power draw and timing constants.
+//
+// Energy accounting across the whole library (analytic MAC models and the
+// discrete-event simulator) is driven by this structure.  The default preset
+// is a CC2420-class 802.15.4 transceiver, the radio used by the analytic
+// study the paper builds on (Langendoen & Meier, ACM TOSN 2010).
+#pragma once
+
+#include <string>
+
+#include "util/error.h"
+
+namespace edb::net {
+
+struct RadioParams {
+  std::string name = "radio";
+
+  // Power draw per operating mode [W].
+  double p_tx = 0.0522;     // transmitting
+  double p_rx = 0.0564;     // receiving / idle listening (CCA uses this too)
+  double p_sleep = 3.0e-6;  // radio off, MCU in deep sleep
+
+  // Link speed [bit/s].
+  double bitrate = 250e3;
+
+  // Timing overheads [s].
+  double t_startup = 0.5e-3;     // sleep -> active (crystal + PLL settle)
+  double t_turnaround = 0.2e-3;  // rx <-> tx switch
+  double t_cca = 0.3e-3;         // one clear-channel assessment sample
+
+  // Airtime of a frame of `frame_bits` bits [s].
+  double airtime(double frame_bits) const { return frame_bits / bitrate; }
+
+  // Cost of one low-power-listening channel poll [s]: wake the radio and
+  // sample the channel once.
+  double poll_duration() const { return t_startup + t_cca; }
+
+  // Structural sanity: powers and times non-negative, bitrate positive,
+  // sleep cheaper than active modes.
+  Expected<bool> validate() const;
+
+  // Presets.
+  static RadioParams cc2420();  // 802.15.4, 250 kbps (default numbers above)
+  static RadioParams cc1000();  // byte radio, 19.2 kbps (Mica2 era)
+};
+
+}  // namespace edb::net

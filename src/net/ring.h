@@ -1,0 +1,67 @@
+// Ring topology model (Langendoen & Meier, ACM TOSN 2010; adopted by the
+// paper's §2 "Network and Traffic Model").
+//
+// Nodes are uniformly scattered on a disk around the sink and layered into
+// rings by minimal hop count d = 1..D ("depth").  Communication follows a
+// unit-disk graph whose disk contains `density + 1` nodes (so each node has
+// `density` neighbours).  A spanning tree routes every packet over a
+// shortest path: a node in ring d forwards to a parent in ring d-1.
+//
+// Ring geometry: the ring-d annulus has area proportional to (2d - 1), so
+//   nodes_in_ring(d) = (density + 1) * (2d - 1),
+//   total_nodes      = (density + 1) * D^2.
+//
+// Every node sources periodic traffic at rate `fs` [packets/s]; because all
+// traffic from rings >= d funnels through ring d, a ring-d node forwards
+//   f_out(d) = fs * (D^2 - (d-1)^2) / (2d - 1)         [packets/s]
+//   f_in(d)  = f_out(d) - fs                           [packets/s]
+// and overhears background traffic from its `density` unit-disk neighbours
+// (each forwarding roughly as much as itself) minus the packets actually
+// addressed to it:
+//   f_bg(d)  = max(0, density * f_out(d) - f_in(d)).
+//
+// Ring 1 is the energy bottleneck (it forwards the whole network's load);
+// ring D sees the worst end-to-end delay (longest path).
+#pragma once
+
+#include "util/error.h"
+
+namespace edb::net {
+
+struct RingTopology {
+  int depth = 5;        // D: number of rings (max hop count to the sink)
+  double density = 7;   // C: neighbours per node (unit disk holds C+1 nodes)
+
+  Expected<bool> validate() const;
+
+  double nodes_in_ring(int d) const;  // d in [1, depth]
+  double total_nodes() const;
+
+  // Average number of tree children of a ring-d node (0 for the outer ring).
+  double children(int d) const;
+};
+
+// Per-ring steady-state traffic rates for periodic sources of rate fs.
+class RingTraffic {
+ public:
+  // fs: per-source sampling rate [packets/s]; must be > 0.
+  RingTraffic(RingTopology topo, double fs);
+
+  const RingTopology& topology() const { return topo_; }
+  double fs() const { return fs_; }
+
+  double f_out(int d) const;  // packets/s a ring-d node transmits
+  double f_in(int d) const;   // packets/s a ring-d node receives (for itself)
+  double f_bg(int d) const;   // packets/s transmitted in range, not for us
+
+  // Total packets/s entering the sink (= total_nodes * fs).
+  double sink_load() const;
+
+ private:
+  void check_ring(int d) const;
+
+  RingTopology topo_;
+  double fs_;
+};
+
+}  // namespace edb::net

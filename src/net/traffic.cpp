@@ -1,0 +1,27 @@
+#include "net/traffic.h"
+
+namespace edb::net {
+
+Expected<bool> TrafficModel::validate() const {
+  if (fs <= 0.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "sampling rate must be positive");
+  }
+  if (jitter_frac < 0.0 || jitter_frac >= 1.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "jitter fraction must be in [0, 1)");
+  }
+  return true;
+}
+
+double TrafficModel::initial_phase(Rng& rng) const {
+  return rng.uniform(0.0, period());
+}
+
+double TrafficModel::next_generation_time(double previous_nominal,
+                                          Rng& rng) const {
+  const double jitter = jitter_frac * period();
+  return previous_nominal + period() + rng.uniform(-jitter, jitter);
+}
+
+}  // namespace edb::net

@@ -1,0 +1,30 @@
+// Application traffic model: periodic sensing with optional jitter.
+//
+// The analytic models only need the rate `fs`; the simulator also needs
+// concrete generation instants, which `next_generation_time` provides
+// (periodic with uniform phase and optional +/- jitter fraction, the usual
+// desynchronised-sensors assumption).
+#pragma once
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace edb::net {
+
+struct TrafficModel {
+  double fs = 6.5e-5;        // per-source sampling rate [packets/s]
+  double jitter_frac = 0.1;  // uniform jitter as a fraction of the period
+
+  double period() const { return 1.0 / fs; }
+
+  Expected<bool> validate() const;
+
+  // Random initial phase in [0, period).
+  double initial_phase(Rng& rng) const;
+
+  // Next generation instant after `now`, given the previous nominal instant.
+  // Returns nominal + period +/- jitter.
+  double next_generation_time(double previous_nominal, Rng& rng) const;
+};
+
+}  // namespace edb::net

@@ -1,0 +1,33 @@
+#include "opt/bisect.h"
+
+#include <cmath>
+
+namespace edb::opt {
+
+Expected<double> bisect_root(const std::function<double(double)>& g,
+                             double lo, double hi, const BisectOptions& opts) {
+  EDB_ASSERT(lo <= hi, "bisect needs lo <= hi");
+  double glo = g(lo);
+  double ghi = g(hi);
+  if (glo == 0.0) return lo;
+  if (ghi == 0.0) return hi;
+  if ((glo > 0) == (ghi > 0)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bisect_root: root not bracketed by [lo, hi]");
+  }
+  double a = lo, b = hi;
+  for (int it = 0; it < opts.max_iterations && (b - a) > opts.x_tol; ++it) {
+    const double mid = 0.5 * (a + b);
+    const double gm = g(mid);
+    if (gm == 0.0) return mid;
+    if ((gm > 0) == (glo > 0)) {
+      a = mid;
+      glo = gm;
+    } else {
+      b = mid;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace edb::opt

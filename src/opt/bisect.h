@@ -1,0 +1,25 @@
+// Bisection root finding for monotone scalar functions.
+//
+// Used to place parameters exactly on a constraint boundary — e.g. solving
+// L(Tw) = Lmax when the latency is monotone in the wake interval, which is
+// where (P1)'s optimum sits for a monotone energy model.
+#pragma once
+
+#include <functional>
+
+#include "util/error.h"
+
+namespace edb::opt {
+
+struct BisectOptions {
+  double x_tol = 1e-12;
+  int max_iterations = 200;
+};
+
+// Finds x in [lo, hi] with g(x) = 0.  Requires sign(g(lo)) != sign(g(hi))
+// (either may be zero).  Returns an error if the root is not bracketed.
+Expected<double> bisect_root(const std::function<double(double)>& g,
+                             double lo, double hi,
+                             const BisectOptions& opts = {});
+
+}  // namespace edb::opt

@@ -1,0 +1,51 @@
+#include "opt/golden.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace edb::opt {
+
+ScalarResult golden_section_min(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const GoldenOptions& opts) {
+  EDB_ASSERT(lo < hi, "golden section needs lo < hi");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  int evals = 2;
+  bool converged = false;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    if (b - a < opts.x_tol) {
+      converged = true;
+      break;
+    }
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++evals;
+  }
+
+  ScalarResult out;
+  out.x = (f1 < f2) ? x1 : x2;
+  out.value = std::min(f1, f2);
+  out.evaluations = evals;
+  out.converged = converged || (b - a < opts.x_tol);
+  return out;
+}
+
+}  // namespace edb::opt

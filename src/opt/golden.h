@@ -1,0 +1,23 @@
+// Golden-section search: derivative-free 1-D minimisation on [lo, hi].
+//
+// Exact for unimodal objectives; for the (rare) multimodal case callers
+// should bracket with a coarse grid first (grid.h does this).  Deterministic
+// and allocation-free — the workhorse for the 1-D protocol parameters.
+#pragma once
+
+#include <functional>
+
+#include "opt/types.h"
+
+namespace edb::opt {
+
+struct GoldenOptions {
+  double x_tol = 1e-10;  // terminate when the bracket width falls below this
+  int max_iterations = 200;
+};
+
+ScalarResult golden_section_min(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const GoldenOptions& opts = {});
+
+}  // namespace edb::opt

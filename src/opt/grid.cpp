@@ -1,0 +1,91 @@
+#include "opt/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace edb::opt {
+namespace {
+
+// Iterates the full cartesian grid via an odometer index vector.
+VectorResult grid_pass(const Objective& f, const Box& box, int per_dim) {
+  const std::size_t n = box.dim();
+  std::vector<std::vector<double>> axes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    axes[i] = linspace(box.lo(i), box.hi(i), per_dim);
+  }
+
+  std::vector<std::size_t> idx(n, 0);
+  std::vector<double> x(n);
+  VectorResult best;
+  best.value = kInf;
+
+  while (true) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = axes[i][idx[i]];
+    const double v = f(x);
+    ++best.evaluations;
+    if (v < best.value) {
+      best.value = v;
+      best.x = x;
+    }
+    // Advance the odometer.
+    std::size_t carry = 0;
+    while (carry < n) {
+      if (++idx[carry] < axes[carry].size()) break;
+      idx[carry] = 0;
+      ++carry;
+    }
+    if (carry == n) break;
+  }
+  best.converged = std::isfinite(best.value);
+  return best;
+}
+
+}  // namespace
+
+VectorResult grid_min(const Objective& f, const Box& box, int points_per_dim) {
+  EDB_ASSERT(points_per_dim >= 2, "grid needs >= 2 points per dimension");
+  return grid_pass(f, box, points_per_dim);
+}
+
+VectorResult grid_refine_min(const Objective& f, const Box& box,
+                             const GridOptions& opts) {
+  EDB_ASSERT(opts.points_per_dim >= 3, "refinement needs >= 3 points");
+  EDB_ASSERT(opts.zoom > 0.0 && opts.zoom < 1.0, "zoom must be in (0,1)");
+
+  Box current = box;
+  VectorResult best;
+  best.value = kInf;
+
+  for (int round = 0; round < opts.rounds; ++round) {
+    VectorResult r = grid_pass(f, current, opts.points_per_dim);
+    r.evaluations += best.evaluations;
+    if (r.value <= best.value) best = r;
+
+    if (best.x.empty() || !std::isfinite(best.value)) break;
+
+    // Shrink around the incumbent, staying inside the original box.
+    std::vector<double> lo(box.dim()), hi(box.dim());
+    for (std::size_t i = 0; i < box.dim(); ++i) {
+      const double half = 0.5 * opts.zoom * current.width(i);
+      lo[i] = std::max(box.lo(i), best.x[i] - half);
+      hi[i] = std::min(box.hi(i), best.x[i] + half);
+      if (hi[i] - lo[i] < 1e-15) {  // degenerate: re-open a tiny window
+        const double eps = 1e-12 * std::max(1.0, std::abs(best.x[i]));
+        lo[i] = std::max(box.lo(i), best.x[i] - eps);
+        hi[i] = std::min(box.hi(i), best.x[i] + eps);
+        if (lo[i] >= hi[i]) {
+          lo[i] = box.lo(i);
+          hi[i] = box.hi(i);
+        }
+      }
+    }
+    current = Box(lo, hi);
+  }
+  best.converged = std::isfinite(best.value);
+  return best;
+}
+
+}  // namespace edb::opt

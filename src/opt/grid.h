@@ -1,0 +1,29 @@
+// Dense grid search with iterative zoom refinement.
+//
+// Grid search is the cross-validation oracle for the smarter solvers: it is
+// slow but cannot be fooled by local minima at the sampled resolution.
+// `grid_refine_min` repeatedly shrinks the box around the incumbent
+// (factor `zoom` per round), giving ~machine-precision optima on smooth
+// 1-2 D problems at modest cost.
+#pragma once
+
+#include "opt/bounds.h"
+#include "opt/types.h"
+
+namespace edb::opt {
+
+struct GridOptions {
+  int points_per_dim = 33;  // samples per axis per round
+  int rounds = 8;           // zoom refinement rounds
+  double zoom = 0.2;        // box shrink factor per round
+};
+
+// Single-pass dense search over `box`.
+VectorResult grid_min(const Objective& f, const Box& box,
+                      int points_per_dim = 101);
+
+// Multi-round zooming search.
+VectorResult grid_refine_min(const Objective& f, const Box& box,
+                             const GridOptions& opts = {});
+
+}  // namespace edb::opt

@@ -1,0 +1,26 @@
+// Nelder-Mead downhill simplex with box projection.
+//
+// Derivative-free N-dimensional local minimiser.  Simplex vertices are
+// projected onto the box after every geometric operation, which is the
+// standard practical treatment of bound constraints for this method.
+// Restarted from multiple deterministic seeds by the penalty solver to
+// mitigate local minima.
+#pragma once
+
+#include "opt/bounds.h"
+#include "opt/types.h"
+
+namespace edb::opt {
+
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  double f_tol = 1e-13;      // spread of simplex values at convergence
+  double x_tol = 1e-12;      // simplex diameter at convergence
+  double initial_step = 0.1; // first simplex size, fraction of box width
+};
+
+VectorResult nelder_mead_min(const Objective& f, const Box& box,
+                             std::vector<double> x0,
+                             const NelderMeadOptions& opts = {});
+
+}  // namespace edb::opt

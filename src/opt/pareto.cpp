@@ -1,0 +1,64 @@
+#include "opt/pareto.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace edb::opt {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.f1 <= b.f1 && a.f2 <= b.f2 && (a.f1 < b.f1 || a.f2 < b.f2);
+}
+
+std::vector<ParetoPoint> pareto_filter(std::vector<ParetoPoint> points) {
+  // Sort by f1 ascending, breaking ties by f2 ascending; then sweep keeping
+  // strictly decreasing f2.
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.f1 != b.f1) return a.f1 < b.f1;
+              return a.f2 < b.f2;
+            });
+  std::vector<ParetoPoint> front;
+  double best_f2 = kInf;
+  for (auto& p : points) {
+    if (p.f2 < best_f2) {
+      best_f2 = p.f2;
+      front.push_back(std::move(p));
+    }
+  }
+  return front;
+}
+
+std::vector<ParetoPoint> trace_frontier(const Objective& f1,
+                                        const Objective& f2, const Box& box,
+                                        const Constraint& feasible_slack,
+                                        const ParetoOptions& opts) {
+  EDB_ASSERT(opts.points_per_dim >= 2, "frontier needs >= 2 grid points");
+
+  const std::size_t n = box.dim();
+  std::vector<std::vector<double>> axes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    axes[i] = linspace(box.lo(i), box.hi(i), opts.points_per_dim);
+  }
+
+  std::vector<ParetoPoint> points;
+  std::vector<std::size_t> idx(n, 0);
+  std::vector<double> x(n);
+  while (true) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = axes[i][idx[i]];
+    if (!feasible_slack || feasible_slack(x) > 0.0) {
+      points.push_back({x, f1(x), f2(x)});
+    }
+    std::size_t carry = 0;
+    while (carry < n) {
+      if (++idx[carry] < axes[carry].size()) break;
+      idx[carry] = 0;
+      ++carry;
+    }
+    if (carry == n) break;
+  }
+  return pareto_filter(std::move(points));
+}
+
+}  // namespace edb::opt

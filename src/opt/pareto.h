@@ -1,0 +1,39 @@
+// Pareto frontier tracing for two cost objectives over a parameter box.
+//
+// Samples the box on a dense grid, keeps feasible points, and filters to
+// the non-dominated set (minimising both objectives).  The result is the
+// protocol's E-L trade-off curve the paper's figures draw, sorted by the
+// first objective.
+#pragma once
+
+#include <vector>
+
+#include "opt/bounds.h"
+#include "opt/types.h"
+
+namespace edb::opt {
+
+struct ParetoPoint {
+  std::vector<double> x;
+  double f1 = 0;
+  double f2 = 0;
+};
+
+struct ParetoOptions {
+  int points_per_dim = 512;  // grid resolution (per axis)
+};
+
+// True iff a dominates b for cost minimisation (<= in both, < in one).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+// Filters an arbitrary point set to its non-dominated subset, sorted by f1.
+std::vector<ParetoPoint> pareto_filter(std::vector<ParetoPoint> points);
+
+// Traces the frontier of (f1, f2) over `box`, skipping points where
+// `feasible` returns false.  `feasible` may be null (all points kept).
+std::vector<ParetoPoint> trace_frontier(const Objective& f1,
+                                        const Objective& f2, const Box& box,
+                                        const Constraint& feasible_slack,
+                                        const ParetoOptions& opts = {});
+
+}  // namespace edb::opt

@@ -1,0 +1,45 @@
+// Constrained minimisation via exterior quadratic penalties.
+//
+// Solves   min f(x)  s.t.  s_j(x) >= 0 for all j,  x in box
+// by minimising f(x) + rho * sum_j max(0, -s_j(x))^2 for an increasing
+// penalty schedule rho.  Each unconstrained subproblem is attacked with
+// Nelder-Mead from several deterministic multistart seeds (box midpoint,
+// corners-ish latin points, and the previous round's incumbent).
+//
+// Constraint slacks should be scaled to O(1) (the MAC models' feasibility
+// margins and the normalised budget slacks both are), so a final rho of
+// 1e9 pushes violations below ~1e-5 of scale; the returned point is then
+// re-checked and `converged` reflects true feasibility.
+#pragma once
+
+#include "opt/bounds.h"
+#include "opt/nelder_mead.h"
+#include "opt/types.h"
+#include "util/error.h"
+
+namespace edb::opt {
+
+struct PenaltyOptions {
+  double rho_initial = 10.0;
+  double rho_growth = 10.0;
+  int rounds = 9;                 // final rho = initial * growth^(rounds-1)
+  int multistarts = 6;            // deterministic seeds per round
+  double feasibility_tol = 1e-7;  // max violation accepted as feasible
+  NelderMeadOptions inner;
+};
+
+struct ConstrainedResult {
+  std::vector<double> x;
+  double value = 0;
+  double worst_violation = 0;  // max_j max(0, -s_j(x)) at the solution
+  int evaluations = 0;
+  bool feasible = false;
+};
+
+// Returns the best point found; an error only if no feasible point was
+// located at all (worst_violation > tol everywhere tried).
+Expected<ConstrainedResult> constrained_min(
+    const Objective& f, const std::vector<Constraint>& slacks, const Box& box,
+    const PenaltyOptions& opts = {});
+
+}  // namespace edb::opt

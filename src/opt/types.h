@@ -1,0 +1,30 @@
+// Common result types and function aliases for the solver suite.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace edb::opt {
+
+// Scalar objective over an N-dimensional point.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+// Inequality constraint expressed as a signed slack: s(x) >= 0 is feasible.
+// (This matches mac::AnalyticMacModel::feasibility_margin.)
+using Constraint = std::function<double(const std::vector<double>&)>;
+
+struct ScalarResult {
+  double x = 0;
+  double value = 0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+struct VectorResult {
+  std::vector<double> x;
+  double value = 0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+}  // namespace edb::opt

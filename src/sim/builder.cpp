@@ -1,0 +1,74 @@
+#include "sim/builder.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace edb::sim {
+
+std::vector<int> build_chain(Simulation& sim, int depth) {
+  EDB_ASSERT(depth >= 1, "chain needs depth >= 1");
+  std::vector<int> ids;
+  int prev = sim.add_node(/*depth=*/0, /*parent=*/-1, 0.0, 0.0);
+  ids.push_back(prev);
+  for (int d = 1; d <= depth; ++d) {
+    prev = sim.add_node(d, prev, static_cast<double>(d), 0.0);
+    ids.push_back(prev);
+  }
+  return ids;
+}
+
+std::vector<int> build_ring_corridor(Simulation& sim,
+                                     const net::RingTopology& topo,
+                                     std::uint64_t seed) {
+  EDB_ASSERT(topo.validate().ok(), "invalid ring topology");
+  Rng rng(seed);
+
+  std::vector<int> ids;
+  struct Placed {
+    int id;
+    double x, y;
+    int children = 0;
+  };
+  std::vector<std::vector<Placed>> rings(topo.depth + 1);
+
+  const int sink = sim.add_node(0, -1, 0.0, 0.0);
+  ids.push_back(sink);
+  rings[0].push_back({sink, 0.0, 0.0});
+
+  const double range = sim.config().comm_range;
+  for (int d = 1; d <= topo.depth; ++d) {
+    const int count = static_cast<int>(std::lround(topo.nodes_in_ring(d)));
+    for (int i = 0; i < count; ++i) {
+      const double x = d + rng.uniform(-0.1, 0.1);
+      const double y = rng.uniform(-0.3, 0.3);
+      // Parent: the least-loaded in-range node of the previous ring (ties
+      // broken by distance).  Nearest-parent selection would funnel whole
+      // rings through one hot node, violating the analytic model's
+      // balanced spanning-tree assumption.
+      Placed* best = nullptr;
+      double best_d2 = 0;
+      for (Placed& p : rings[d - 1]) {
+        const double dx = x - p.x;
+        const double dy = y - p.y;
+        const double d2 = dx * dx + dy * dy;
+        if (d2 > range * range) continue;
+        if (!best || p.children < best->children ||
+            (p.children == best->children && d2 < best_d2)) {
+          best = &p;
+          best_d2 = d2;
+        }
+      }
+      EDB_ASSERT(best != nullptr,
+                 "corridor layout produced a node with no in-range parent");
+      ++best->children;
+      const int id = sim.add_node(d, best->id, x, y);
+      ids.push_back(id);
+      rings[d].push_back({id, x, y});
+    }
+  }
+  return ids;
+}
+
+}  // namespace edb::sim

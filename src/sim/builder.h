@@ -1,0 +1,32 @@
+// Topology builders for the simulator.
+//
+// Two layouts:
+//
+//  * build_chain — one node per ring along a line, sink at the origin.
+//    The minimal multi-hop topology; used by unit tests and the LMAC
+//    validation runs (tiny 2-hop neighbourhoods).
+//
+//  * build_ring_corridor — the ring model's populations laid out along a
+//    corridor: ring d has round((density+1) * (2d-1)) nodes near x = d,
+//    jittered inside a narrow band so that every node's nearest ring-(d-1)
+//    node is within communication range.  Parents are nearest-neighbour in
+//    the previous ring, matching the spanning-tree assumption.
+//
+// Both return the ids of the added nodes (sink first).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ring.h"
+#include "sim/simulation.h"
+
+namespace edb::sim {
+
+std::vector<int> build_chain(Simulation& sim, int depth);
+
+std::vector<int> build_ring_corridor(Simulation& sim,
+                                     const net::RingTopology& topo,
+                                     std::uint64_t seed);
+
+}  // namespace edb::sim

@@ -1,0 +1,36 @@
+// Event primitives for the discrete-event kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace edb::sim {
+
+using EventFn = std::function<void()>;
+
+namespace internal {
+struct EventRecord {
+  EventFn fn;
+  bool cancelled = false;
+};
+}  // namespace internal
+
+// Cancellable handle to a scheduled event.  Default-constructed handles are
+// inert; cancelling after the event fired is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  explicit EventHandle(std::shared_ptr<internal::EventRecord> rec)
+      : rec_(std::move(rec)) {}
+
+  void cancel() {
+    if (rec_) rec_->cancelled = true;
+  }
+  bool pending() const { return rec_ && !rec_->cancelled && rec_->fn; }
+
+ private:
+  std::shared_ptr<internal::EventRecord> rec_;
+};
+
+}  // namespace edb::sim

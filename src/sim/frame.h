@@ -1,0 +1,55 @@
+// Frames on the air and application packets they carry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace edb::sim {
+
+inline constexpr int kBroadcast = -1;
+
+// One application sample travelling to the sink.
+struct Packet {
+  std::uint64_t uid = 0;
+  int origin = -1;        // node id of the source
+  double generated_at = 0;
+  int hops = 0;           // link transmissions so far
+};
+
+enum class FrameType {
+  kData,
+  kAck,
+  kStrobe,   // X-MAC preamble strobe (addressed)
+  kEarlyAck, // X-MAC strobe answer
+  kCtrl,     // LMAC slot control message
+  kSync,     // schedule sync beacon
+};
+
+const char* frame_type_name(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  int src = -1;
+  int dst = kBroadcast;
+  double bits = 0;
+
+  // Payload for data frames.
+  std::optional<Packet> packet;
+  // For LMAC control messages: the destination of the data that follows in
+  // this slot (kBroadcast when the owner has nothing to send).
+  int announced_data_dst = kBroadcast;
+};
+
+inline const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kData: return "data";
+    case FrameType::kAck: return "ack";
+    case FrameType::kStrobe: return "strobe";
+    case FrameType::kEarlyAck: return "early-ack";
+    case FrameType::kCtrl: return "ctrl";
+    case FrameType::kSync: return "sync";
+  }
+  return "?";
+}
+
+}  // namespace edb::sim

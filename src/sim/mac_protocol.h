@@ -1,0 +1,82 @@
+// Behavioural MAC protocol interface for the simulator.
+//
+// A MacProtocol instance runs on one node.  It owns the node's radio
+// schedule (it is the only component that calls Radio::set_state), receives
+// frames from the channel, and accepts application packets to deliver to
+// the node's tree parent.  Data frames addressed to this node are handed
+// up through MacEnv::deliver; the Node layer decides whether to absorb
+// (sink) or re-enqueue them (forwarding).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "net/packet.h"
+#include "net/radio.h"
+#include "sim/channel.h"
+#include "sim/frame.h"
+#include "sim/radio_sm.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace edb::sim {
+
+struct NodeInfo {
+  int id = -1;
+  int parent = -1;   // next hop toward the sink (-1 for the sink itself)
+  int depth = 0;     // ring index (0 = sink)
+  bool is_sink = false;
+  int lmac_slot = -1;  // owned TDMA slot (LMAC only; set by the builder)
+};
+
+// Everything a MAC implementation needs from its host node.
+struct MacEnv {
+  Scheduler* scheduler = nullptr;
+  Channel* channel = nullptr;
+  Radio* radio = nullptr;
+  net::PacketFormat packet;
+  NodeInfo info;
+  Rng rng{0};
+  // Upcall for data addressed to this node.
+  std::function<void(const Packet&)> deliver;
+};
+
+class MacProtocol : public FrameSink {
+ public:
+  explicit MacProtocol(MacEnv env) : env_(std::move(env)) {
+    EDB_ASSERT(env_.scheduler && env_.channel && env_.radio,
+               "MacEnv missing kernel pointers");
+  }
+
+  virtual std::string_view name() const = 0;
+  // Begins the protocol's periodic operation (polling / slot schedule).
+  virtual void start() = 0;
+  // Accepts an application (or forwarded) packet for the tree parent.
+  virtual void enqueue(const Packet& packet) = 0;
+
+  // Diagnostics.
+  virtual std::size_t queue_length() const = 0;
+  std::size_t packets_sent() const { return packets_sent_; }
+  std::size_t packets_dropped() const { return packets_dropped_; }
+
+ protected:
+  double now() const { return env_.scheduler->now(); }
+  const net::RadioParams& radio_params() const {
+    return env_.radio->params();
+  }
+  double data_airtime() const {
+    return env_.packet.data_airtime(radio_params());
+  }
+  double ack_airtime() const {
+    return env_.packet.ack_airtime(radio_params());
+  }
+
+  MacEnv env_;
+  std::size_t packets_sent_ = 0;
+  std::size_t packets_dropped_ = 0;
+};
+
+using MacFactory = std::function<std::unique_ptr<MacProtocol>(MacEnv)>;
+
+}  // namespace edb::sim

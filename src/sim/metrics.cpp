@@ -1,0 +1,48 @@
+#include "sim/metrics.h"
+
+#include "util/math.h"
+
+namespace edb::sim {
+
+void Metrics::record_generated(const Packet& p, int origin_depth) {
+  ++generated_;
+  origin_depth_[p.uid] = origin_depth;
+  max_depth_ = std::max(max_depth_, origin_depth);
+}
+
+void Metrics::record_delivered(const Packet& p, double now) {
+  records_.push_back({p, now});
+}
+
+double Metrics::delivery_ratio() const {
+  if (generated_ == 0) return kNaN;
+  return static_cast<double>(records_.size()) /
+         static_cast<double>(generated_);
+}
+
+double Metrics::mean_delay_from_depth(int depth) const {
+  std::vector<double> delays;
+  for (const auto& r : records_) {
+    auto it = origin_depth_.find(r.packet.uid);
+    if (it != origin_depth_.end() && it->second == depth) {
+      delays.push_back(r.e2e_delay());
+    }
+  }
+  return mean(delays);
+}
+
+double Metrics::mean_delay() const {
+  std::vector<double> delays;
+  delays.reserve(records_.size());
+  for (const auto& r : records_) delays.push_back(r.e2e_delay());
+  return mean(delays);
+}
+
+double Metrics::delay_percentile(double p) const {
+  std::vector<double> delays;
+  delays.reserve(records_.size());
+  for (const auto& r : records_) delays.push_back(r.e2e_delay());
+  return percentile(std::move(delays), p);
+}
+
+}  // namespace edb::sim

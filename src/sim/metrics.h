@@ -1,0 +1,47 @@
+// Measurement collection: per-packet delivery records and derived
+// energy/delay statistics that mirror the analytic models' outputs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/frame.h"
+
+namespace edb::sim {
+
+struct DeliveryRecord {
+  Packet packet;
+  double delivered_at = 0;
+  double e2e_delay() const { return delivered_at - packet.generated_at; }
+};
+
+class Metrics {
+ public:
+  void record_generated(const Packet& p, int origin_depth);
+  void record_delivered(const Packet& p, double now);
+
+  std::size_t generated() const { return generated_; }
+  std::size_t delivered() const { return records_.size(); }
+  double delivery_ratio() const;
+
+  const std::vector<DeliveryRecord>& records() const { return records_; }
+
+  // Mean e2e delay of packets originating at the given ring depth [s];
+  // NaN when no packet from that depth arrived.
+  double mean_delay_from_depth(int depth) const;
+  // Mean over all delivered packets [s].
+  double mean_delay() const;
+  // Linear-interpolated percentile of all e2e delays [s]; p in [0, 100].
+  double delay_percentile(double p) const;
+  // Max ring depth seen among generated packets.
+  int max_depth() const { return max_depth_; }
+
+ private:
+  std::size_t generated_ = 0;
+  int max_depth_ = 0;
+  std::vector<DeliveryRecord> records_;
+  std::unordered_map<std::uint64_t, int> origin_depth_;
+};
+
+}  // namespace edb::sim

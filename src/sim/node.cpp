@@ -1,0 +1,43 @@
+#include "sim/node.h"
+
+namespace edb::sim {
+
+Node::Node(NodeInfo info, double x, double y,
+           const net::RadioParams& radio_params, Metrics* metrics)
+    : info_(info), x_(x), y_(y), radio_(radio_params), metrics_(metrics) {
+  EDB_ASSERT(metrics_ != nullptr, "node needs metrics");
+}
+
+void Node::wire_mac(Scheduler* scheduler, Channel* channel,
+                    const net::PacketFormat& packet, const MacFactory& factory,
+                    std::uint64_t seed) {
+  scheduler_ = scheduler;
+  MacEnv env;
+  env.scheduler = scheduler;
+  env.channel = channel;
+  env.radio = &radio_;
+  env.packet = packet;
+  env.info = info_;
+  env.rng = Rng(seed);
+  env.deliver = [this](const Packet& p) { handle_data(p); };
+  mac_ = factory(std::move(env));
+  EDB_ASSERT(mac_ != nullptr, "MAC factory returned null");
+}
+
+void Node::originate(const Packet& p) {
+  EDB_ASSERT(!info_.is_sink, "the sink does not originate traffic");
+  metrics_->record_generated(p, info_.depth);
+  mac_->enqueue(p);
+}
+
+void Node::handle_data(const Packet& p) {
+  if (info_.is_sink) {
+    metrics_->record_delivered(p, scheduler_->now());
+    return;
+  }
+  Packet fwd = p;
+  ++fwd.hops;
+  mac_->enqueue(fwd);
+}
+
+}  // namespace edb::sim

@@ -1,0 +1,49 @@
+// A simulated sensor node: radio + MAC + forwarding logic.
+//
+// The node layer is deliberately thin: data frames the MAC hands up are
+// either absorbed (sink) into Metrics or re-enqueued toward the parent
+// (multi-hop forwarding).  Hop counting happens here.
+#pragma once
+
+#include <memory>
+
+#include "sim/mac_protocol.h"
+#include "sim/metrics.h"
+
+namespace edb::sim {
+
+class Node {
+ public:
+  // `metrics`, `scheduler`, `channel` must outlive the node.
+  Node(NodeInfo info, double x, double y, const net::RadioParams& radio_params,
+       Metrics* metrics);
+
+  // Two-phase init: the channel needs radio+sink pointers, and the MAC
+  // factory needs the env — wire_mac completes construction.
+  void wire_mac(Scheduler* scheduler, Channel* channel,
+                const net::PacketFormat& packet, const MacFactory& factory,
+                std::uint64_t seed);
+
+  const NodeInfo& info() const { return info_; }
+  double x() const { return x_; }
+  double y() const { return y_; }
+  Radio& radio() { return radio_; }
+  const Radio& radio() const { return radio_; }
+  MacProtocol& mac() { return *mac_; }
+  const MacProtocol& mac() const { return *mac_; }
+
+  // Application-level packet origination (traffic generator).
+  void originate(const Packet& p);
+
+ private:
+  void handle_data(const Packet& p);
+
+  NodeInfo info_;
+  double x_, y_;
+  Radio radio_;
+  Metrics* metrics_;
+  Scheduler* scheduler_ = nullptr;
+  std::unique_ptr<MacProtocol> mac_;
+};
+
+}  // namespace edb::sim

@@ -1,0 +1,39 @@
+#include "sim/scheduler.h"
+
+namespace edb::sim {
+
+EventHandle Scheduler::schedule_at(double t, EventFn fn) {
+  EDB_ASSERT(t >= now_, "cannot schedule into the past");
+  auto rec = std::make_shared<internal::EventRecord>();
+  rec->fn = std::move(fn);
+  queue_.push({t, next_seq_++, rec});
+  return EventHandle(rec);
+}
+
+EventHandle Scheduler::schedule_in(double delay, EventFn fn) {
+  EDB_ASSERT(delay >= 0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::run_until(double t_end) {
+  while (!queue_.empty()) {
+    const QueueEntry top = queue_.top();
+    if (top.t > t_end) break;
+    queue_.pop();
+    if (top.rec->cancelled) continue;
+    now_ = top.t;
+    EventFn fn = std::move(top.rec->fn);
+    top.rec->fn = nullptr;
+    fn();
+    ++executed_;
+  }
+  now_ = t_end;
+}
+
+bool Scheduler::empty() const {
+  // Conservative: tombstoned events still occupy the queue, so report
+  // emptiness only when the queue is truly drained.
+  return queue_.empty();
+}
+
+}  // namespace edb::sim

@@ -1,0 +1,55 @@
+// Discrete-event scheduler: a time-ordered queue of callbacks.
+//
+// Deterministic: simultaneous events fire in scheduling order (FIFO tie
+// break on a monotone sequence number).  Cancellation is O(1) via tombstone
+// flags; cancelled events are skipped at pop time.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "sim/event.h"
+#include "util/error.h"
+
+namespace edb::sim {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  double now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t >= now()`.
+  EventHandle schedule_at(double t, EventFn fn);
+  // Schedules `fn` after `delay >= 0`.
+  EventHandle schedule_in(double delay, EventFn fn);
+
+  // Runs events until the queue empties or simulated time would pass
+  // `t_end`; `now()` ends at min(t_end, last event time).
+  void run_until(double t_end);
+
+  // True when no live events remain.
+  bool empty() const;
+
+  std::size_t events_executed() const { return executed_; }
+
+ private:
+  struct QueueEntry {
+    double t;
+    std::uint64_t seq;
+    std::shared_ptr<internal::EventRecord> rec;
+    bool operator>(const QueueEntry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace edb::sim

@@ -1,0 +1,206 @@
+#include "sim/scpmac_sim.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace edb::sim {
+
+ScpmacSim::ScpmacSim(MacEnv env, ScpmacSimParams params)
+    : MacProtocol(std::move(env)), params_(params) {
+  EDB_ASSERT(params_.tp > 4.0 * (tone_duration() + data_airtime()),
+             "SCP-MAC poll period too short");
+}
+
+double ScpmacSim::poll_phase(int node_id, double tp) {
+  // Deterministic per-node phase: independent schedules (as in SCP-MAC's
+  // multi-schedule operation) that any neighbour can recompute from the
+  // node id alone — the sim's stand-in for the schedule announcements the
+  // real protocol piggybacks on SYNC packets.
+  std::uint64_t x = static_cast<std::uint64_t>(node_id) + 1;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return (static_cast<double>(x % 100000) / 100000.0) * tp;
+}
+
+double ScpmacSim::next_poll_of(int node_id) const {
+  const double phase = poll_phase(node_id, params_.tp);
+  const double k = std::floor((now() - phase) / params_.tp) + 1.0;
+  return k * params_.tp + phase;
+}
+
+double ScpmacSim::next_poll_time() const {
+  return next_poll_of(env_.info.id);
+}
+
+void ScpmacSim::start() {
+  poll_timer_ =
+      env_.scheduler->schedule_at(next_poll_time(), [this] { poll(); });
+}
+
+void ScpmacSim::schedule_poll() {
+  poll_timer_ = env_.scheduler->schedule_in(params_.tp, [this] { poll(); });
+}
+
+void ScpmacSim::poll() {
+  schedule_poll();
+  if (state_ != State::kIdle) return;
+  state_ = State::kPolling;
+  listen_window_start_ = now();
+  env_.radio->set_state(RadioState::kListen, now());
+  timer_ = env_.scheduler->schedule_in(radio_params().poll_duration(),
+                                       [this] { end_poll(); });
+}
+
+void ScpmacSim::end_poll() {
+  if (state_ != State::kPolling) return;
+  if (env_.channel->energy_since(env_.info.id, listen_window_start_)) {
+    // A tone (or data) is in the air: hold until the data frame arrives.
+    state_ = State::kAwaitData;
+    const double timeout =
+        tone_duration() + data_airtime() + 4.0 * radio_params().t_turnaround +
+        2e-3;
+    timer_ = env_.scheduler->schedule_in(timeout, [this] {
+      if (state_ == State::kAwaitData) go_idle();
+    });
+    return;
+  }
+  go_idle();
+}
+
+void ScpmacSim::enqueue(const Packet& packet) {
+  queue_.push_back(packet);
+  schedule_tx();
+}
+
+void ScpmacSim::schedule_tx() {
+  if (tx_scheduled_ || queue_.empty()) return;
+  tx_scheduled_ = true;
+  // Start the tone slightly before the *parent's* poll so it brackets it;
+  // if that instant already passed (or is now — e.g. a deferral decided at
+  // the poll itself), target the following poll instead.
+  double start = next_poll_of(env_.info.parent) - params_.tone_guard -
+                 radio_params().poll_duration();
+  if (start <= now() + 1e-9) start += params_.tp;
+  tx_timer_ = env_.scheduler->schedule_at(start, [this] { begin_tone(); });
+}
+
+void ScpmacSim::begin_tone() {
+  tx_scheduled_ = false;
+  if (queue_.empty()) return;
+  if (state_ != State::kIdle) {
+    // Busy receiving; try the next poll.
+    schedule_tx();
+    return;
+  }
+  if (env_.channel->busy_near(env_.info.id)) {
+    // Another sender grabbed this poll; defer.
+    schedule_tx();
+    return;
+  }
+  state_ = State::kSendingTone;
+  env_.radio->set_state(RadioState::kTx, now());
+  Frame tone;
+  tone.type = FrameType::kStrobe;
+  tone.src = env_.info.id;
+  tone.dst = kBroadcast;
+  tone.bits = tone_duration() * radio_params().bitrate;
+  env_.channel->transmit(env_.info.id, tone, tone_duration());
+  timer_ = env_.scheduler->schedule_in(tone_duration(),
+                                       [this] { send_data(); });
+}
+
+void ScpmacSim::send_data() {
+  EDB_ASSERT(!queue_.empty(), "send_data with empty queue");
+  state_ = State::kSendingData;
+  Frame f;
+  f.type = FrameType::kData;
+  f.src = env_.info.id;
+  f.dst = env_.info.parent;
+  f.bits = env_.packet.data_bits();
+  f.packet = queue_.front();
+  env_.channel->transmit(env_.info.id, f, data_airtime());
+  timer_ =
+      env_.scheduler->schedule_in(data_airtime(), [this] { data_sent(); });
+}
+
+void ScpmacSim::data_sent() {
+  state_ = State::kAwaitAck;
+  env_.radio->set_state(RadioState::kListen, now());
+  const double timeout =
+      ack_airtime() + 2.0 * radio_params().t_turnaround + 1e-4;
+  timer_ = env_.scheduler->schedule_in(timeout, [this] { ack_timeout(); });
+}
+
+void ScpmacSim::ack_timeout() {
+  if (state_ != State::kAwaitAck) return;
+  if (++retries_ <= params_.max_retries) {
+    go_idle();
+    schedule_tx();  // next common poll
+    return;
+  }
+  finish_packet(/*success=*/false);
+}
+
+void ScpmacSim::finish_packet(bool success) {
+  EDB_ASSERT(!queue_.empty(), "finish_packet with empty queue");
+  if (success) {
+    ++packets_sent_;
+  } else {
+    ++packets_dropped_;
+  }
+  retries_ = 0;
+  queue_.pop_front();
+  go_idle();
+  schedule_tx();
+}
+
+void ScpmacSim::go_idle() {
+  state_ = State::kIdle;
+  env_.radio->set_state(RadioState::kSleep, now());
+}
+
+void ScpmacSim::on_frame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kStrobe:
+      return;  // the tone only matters as channel energy
+    case FrameType::kData: {
+      if (state_ != State::kAwaitData) return;
+      if (frame.dst != env_.info.id) {
+        timer_.cancel();
+        go_idle();  // overheard someone else's exchange
+        return;
+      }
+      timer_.cancel();
+      EDB_ASSERT(frame.packet.has_value(), "data frame without packet");
+      const Packet pkt = *frame.packet;
+      state_ = State::kSendingAck;
+      const int sender = frame.src;
+      timer_ = env_.scheduler->schedule_in(
+          radio_params().t_turnaround, [this, pkt, sender] {
+            env_.radio->set_state(RadioState::kTx, now());
+            Frame ack;
+            ack.type = FrameType::kAck;
+            ack.src = env_.info.id;
+            ack.dst = sender;
+            ack.bits = env_.packet.ack_bits();
+            env_.channel->transmit(env_.info.id, ack, ack_airtime());
+            timer_ = env_.scheduler->schedule_in(ack_airtime(), [this, pkt] {
+              go_idle();
+              env_.deliver(pkt);
+            });
+          });
+      return;
+    }
+    case FrameType::kAck: {
+      if (frame.dst != env_.info.id || state_ != State::kAwaitAck) return;
+      timer_.cancel();
+      finish_packet(/*success=*/true);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace edb::sim

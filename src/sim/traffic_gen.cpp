@@ -1,0 +1,36 @@
+#include "sim/traffic_gen.h"
+
+namespace edb::sim {
+
+TrafficGenerator::TrafficGenerator(Scheduler& scheduler,
+                                   net::TrafficModel model,
+                                   std::uint64_t seed)
+    : scheduler_(scheduler), model_(model), rng_(seed) {
+  EDB_ASSERT(model_.validate().ok(), "invalid traffic model");
+}
+
+void TrafficGenerator::start(const std::vector<Node*>& nodes,
+                             double stop_time) {
+  for (Node* node : nodes) {
+    if (node->info().is_sink) continue;
+    const double first = model_.initial_phase(rng_);
+    if (first > stop_time) continue;
+    schedule_next(node, first, stop_time);
+  }
+}
+
+void TrafficGenerator::schedule_next(Node* node, double nominal,
+                                     double stop_time) {
+  scheduler_.schedule_at(nominal, [this, node, nominal, stop_time]() {
+    Packet p;
+    p.uid = next_uid_++;
+    p.origin = node->info().id;
+    p.generated_at = scheduler_.now();
+    node->originate(p);
+
+    const double next = model_.next_generation_time(nominal, rng_);
+    if (next <= stop_time) schedule_next(node, next, stop_time);
+  });
+}
+
+}  // namespace edb::sim

@@ -1,0 +1,83 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace edb {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(out), columns_(columns.size()) {
+  EDB_ASSERT(!columns.empty(), "CSV must have at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  EDB_ASSERT(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  char buf[64];
+  for (double c : cells) {
+    std::snprintf(buf, sizeof(buf), "%.10g", c);
+    text.emplace_back(buf);
+  }
+  row(text);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cells.push_back(cur);
+  return cells;
+}
+
+}  // namespace edb

@@ -1,0 +1,38 @@
+// CSV emission for benchmark series and example output.
+//
+// Writers hold the header schema and enforce that every row matches it, so a
+// bench cannot silently emit ragged data.  Output goes to any std::ostream
+// (file or stdout).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace edb {
+
+class CsvWriter {
+ public:
+  // `out` must outlive the writer.  Writes the header immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  // Appends one row. Cell counts must match the header.
+  void row(const std::vector<std::string>& cells);
+  // Convenience: formats doubles with %.10g.
+  void row(const std::vector<double>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+  // Escapes a cell per RFC 4180 (quotes cells containing , " or newline).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+// Parses a CSV line (no embedded newlines) honouring RFC 4180 quoting.
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace edb

@@ -1,0 +1,104 @@
+// Lightweight status/expected types for recoverable errors.
+//
+// The library avoids exceptions on hot paths (solver inner loops, simulator
+// event dispatch).  Functions that can fail for reasons a caller should
+// handle (infeasible constraint set, empty frontier, bad configuration)
+// return `Expected<T>`; programming errors use EDB_ASSERT which aborts with
+// a message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace edb {
+
+#define EDB_ASSERT(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "EDB_ASSERT failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, (msg));                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// Error payload: a machine-readable code plus a human-readable message.
+enum class ErrorCode {
+  kInvalidArgument,
+  kInfeasible,       // constraint set empty / no feasible point found
+  kNotConverged,     // iterative solver hit its budget without converging
+  kOutOfRange,
+  kNotFound,
+  kInternal,
+};
+
+const char* error_code_name(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(error_code_name(code)) + ": " + message;
+  }
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kInfeasible: return "infeasible";
+    case ErrorCode::kNotConverged: return "not_converged";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+// Minimal expected<T, Error>.  Either holds a value or an Error.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}            // NOLINT
+  Expected(Error error) : error_(std::move(error)) {}        // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    EDB_ASSERT(ok(), error_ ? error_->message.c_str() : "empty Expected");
+    return *value_;
+  }
+  T& value() & {
+    EDB_ASSERT(ok(), error_ ? error_->message.c_str() : "empty Expected");
+    return *value_;
+  }
+  T&& take() && {
+    EDB_ASSERT(ok(), error_ ? error_->message.c_str() : "empty Expected");
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const {
+    EDB_ASSERT(!ok(), "Expected holds a value, not an error");
+    return *error_;
+  }
+
+  // Returns the value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace edb

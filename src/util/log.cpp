@@ -1,0 +1,45 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace edb {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace internal {
+
+void log_emit(LogLevel level, const char* file, int line,
+              const std::string& message) {
+  // Strip directories from __FILE__ for compact output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s] %s:%d: %s\n", log_level_name(level), base, line,
+               message.c_str());
+}
+
+}  // namespace internal
+}  // namespace edb

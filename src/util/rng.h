@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator and property tests need reproducible streams that are stable
+// across platforms and standard-library versions, so we implement
+// xoshiro256++ (Blackman & Vigna) rather than relying on std::mt19937
+// distributions (whose std::uniform_real_distribution output is
+// implementation-defined).  All distribution sampling is done in-house.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace edb {
+
+class Rng {
+ public:
+  // Seeds via splitmix64 so that small consecutive seeds give uncorrelated
+  // streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  // Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+  // Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  // Bernoulli trial.
+  bool bernoulli(double p);
+
+  // Creates an independent stream (jump function of xoshiro256++).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace edb

@@ -1,0 +1,35 @@
+#include "util/si.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace edb {
+
+std::string si_format(double value, const char* unit, int precision) {
+  struct Scale {
+    double factor;
+    const char* prefix;
+  };
+  static constexpr Scale kScales[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+  };
+  const double mag = std::abs(value);
+  const Scale* chosen = &kScales[3];  // default: no prefix
+  if (mag != 0.0 && std::isfinite(mag)) {
+    for (const Scale& s : kScales) {
+      if (mag >= s.factor) {
+        chosen = &s;
+        break;
+      }
+    }
+    // Below the smallest prefix: keep nano.
+    if (mag < kScales[6].factor) chosen = &kScales[6];
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g%s%s", precision,
+                value / chosen->factor, chosen->prefix, unit);
+  return std::string(buf);
+}
+
+}  // namespace edb

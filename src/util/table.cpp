@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace edb {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  EDB_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void Table::row(std::vector<std::string> cells) {
+  EDB_ASSERT(cells.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  char buf[64];
+  for (double c : cells) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, c);
+    text.emplace_back(buf);
+  }
+  row(std::move(text));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out << r[c] << std::string(width[c] - r[c].size(), ' ');
+      if (c + 1 < r.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace edb

@@ -1,0 +1,35 @@
+// Fixed-width text tables for bench/example console output.
+//
+// The paper's figures are reproduced as printed series; Table renders them
+// readably:
+//
+//   Table t({"Lmax [s]", "E* [J]", "L* [ms]"});
+//   t.row({"1", "0.0123", "812.4"});
+//   t.print(std::cout);
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace edb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+  // Doubles formatted with %.*g.
+  void row(const std::vector<double>& cells, int precision = 6);
+
+  // Renders with column alignment, a header underline, and 2-space gutters.
+  void print(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace edb

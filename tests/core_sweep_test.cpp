@@ -1,0 +1,153 @@
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.h"
+#include "mac/registry.h"
+#include "util/csv.h"
+
+namespace edb::core {
+namespace {
+
+class SweepTest : public ::testing::Test {
+ protected:
+  SweepTest() {
+    scenario_ = Scenario::paper_default();
+    model_ = mac::make_model("X-MAC", scenario_.context).take();
+  }
+  Scenario scenario_;
+  std::unique_ptr<mac::AnalyticMacModel> model_;
+};
+
+TEST_F(SweepTest, Fig1SweepMatchesDirectSolves) {
+  auto sweep = paper_fig1_sweep(*model_, scenario_.requirements);
+  ASSERT_EQ(sweep.cells.size(), 6u);
+  EXPECT_EQ(sweep.protocol, "X-MAC");
+  EXPECT_EQ(sweep.feasible_count(), 6u);
+
+  // Spot-check one cell against a direct solve.
+  AppRequirements req = scenario_.requirements;
+  req.l_max = 2.0;
+  EnergyDelayGame game(*model_, req);
+  auto direct = game.solve().take();
+  ASSERT_TRUE(sweep.cells[1].feasible());
+  EXPECT_NEAR(sweep.cells[1].outcome->nbs.energy, direct.nbs.energy, 1e-9);
+}
+
+TEST_F(SweepTest, SaturatedTailFindsThePaperCluster) {
+  auto sweep = paper_fig1_sweep(*model_, scenario_.requirements);
+  const auto tail = sweep.saturated_tail();
+  // Fig. 1a: Lmax = 3,4,5,6 coincide -> indices 2..5.
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front(), 2u);
+  EXPECT_EQ(tail.back(), 5u);
+
+  auto budget_sweep = paper_fig2_sweep(*model_, scenario_.requirements);
+  const auto budget_tail = budget_sweep.saturated_tail();
+  // Fig. 2a: 0.04, 0.05, 0.06 coincide -> indices 3..5.
+  ASSERT_EQ(budget_tail.size(), 3u);
+  EXPECT_EQ(budget_tail.front(), 3u);
+}
+
+TEST_F(SweepTest, NoClusterReportsEmptyTail) {
+  auto lmac = mac::make_model("LMAC", scenario_.context).take();
+  auto sweep = paper_fig1_sweep(*lmac, scenario_.requirements);
+  EXPECT_TRUE(sweep.saturated_tail().empty());
+}
+
+TEST_F(SweepTest, InfeasibleCellsCarryAReason) {
+  auto lmac = mac::make_model("LMAC", scenario_.context).take();
+  auto sweep = paper_fig2_sweep(*lmac, scenario_.requirements);
+  EXPECT_EQ(sweep.feasible_count(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(sweep.cells[i].feasible());
+    EXPECT_FALSE(sweep.cells[i].infeasible_reason.empty());
+  }
+}
+
+TEST_F(SweepTest, CustomValuesRespected) {
+  auto sweep = run_sweep(*model_, scenario_.requirements, SweepKind::kLmax,
+                         {0.8, 1.6, 3.2});
+  ASSERT_EQ(sweep.cells.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep.cells[0].value, 0.8);
+  EXPECT_DOUBLE_EQ(sweep.cells[2].value, 3.2);
+}
+
+TEST_F(SweepTest, TableRendersOneRowPerCell) {
+  auto sweep = paper_fig1_sweep(*model_, scenario_.requirements);
+  std::ostringstream out;
+  print_sweep_table(sweep, out);
+  // Header + separator + 6 rows.
+  int lines = 0;
+  for (char c : out.str()) lines += (c == '\n');
+  EXPECT_EQ(lines, 8);
+}
+
+TEST_F(SweepTest, CsvRoundTrips) {
+  auto lmac = mac::make_model("LMAC", scenario_.context).take();
+  auto sweep = paper_fig2_sweep(*lmac, scenario_.requirements);
+  std::ostringstream out;
+  write_sweep_csv(sweep, out);
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  const auto header = parse_csv_line(line);
+  EXPECT_EQ(header.front(), "protocol");
+  int rows = 0, feasible = 0;
+  while (std::getline(in, line)) {
+    const auto cells = parse_csv_line(line);
+    ASSERT_EQ(cells.size(), header.size());
+    ++rows;
+    if (cells[3] == "1") ++feasible;
+  }
+  EXPECT_EQ(rows, 6);
+  EXPECT_EQ(feasible, 3);
+}
+
+TEST_F(SweepTest, SummaryMentionsTheCluster) {
+  auto sweep = paper_fig1_sweep(*model_, scenario_.requirements);
+  std::ostringstream out;
+  print_sweep_summary(sweep, out);
+  EXPECT_NE(out.str().find("6/6 cells feasible"), std::string::npos);
+  EXPECT_NE(out.str().find("saturated cluster {3, 4, 5, 6}"),
+            std::string::npos);
+}
+
+TEST(WeightedGame, PowerSweepMovesTheAgreementMonotonically) {
+  Scenario scenario = Scenario::paper_default();
+  auto model = mac::make_model("DMAC", scenario.context).take();
+  EnergyDelayGame game(*model, scenario.requirements);
+  double prev_energy = 1e9;
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto outcome = game.solve_weighted(alpha).take();
+    // More energy-player power -> lower E*, higher L*.
+    EXPECT_LT(outcome.nbs.energy, prev_energy) << alpha;
+    prev_energy = outcome.nbs.energy;
+    EXPECT_LE(outcome.nbs.energy, scenario.requirements.e_budget * 1.0001);
+    EXPECT_LE(outcome.nbs.latency, scenario.requirements.l_max * 1.0001);
+  }
+}
+
+TEST(WeightedGame, HalfPowerEqualsPlainSolve) {
+  Scenario scenario = Scenario::paper_default();
+  auto model = mac::make_model("X-MAC", scenario.context).take();
+  EnergyDelayGame game(*model, scenario.requirements);
+  auto plain = game.solve().take();
+  auto half = game.solve_weighted(0.5).take();
+  EXPECT_NEAR(plain.nbs.energy, half.nbs.energy, 1e-9);
+  EXPECT_NEAR(plain.nbs.latency, half.nbs.latency, 1e-9);
+}
+
+TEST(WeightedGame, RejectsBadAlpha) {
+  Scenario scenario = Scenario::paper_default();
+  auto model = mac::make_model("X-MAC", scenario.context).take();
+  EnergyDelayGame game(*model, scenario.requirements);
+  EXPECT_FALSE(game.solve_weighted(0.0).ok());
+  EXPECT_FALSE(game.solve_weighted(1.5).ok());
+}
+
+}  // namespace
+}  // namespace edb::core

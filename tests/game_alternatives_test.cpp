@@ -1,0 +1,100 @@
+#include "game/alternatives.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/nbs.h"
+
+namespace edb::game {
+namespace {
+
+std::vector<UtilityPoint> linear_frontier(int n = 1001) {
+  std::vector<UtilityPoint> pts;
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (n - 1);
+    pts.push_back({t, 1.0 - t});
+  }
+  return pts;
+}
+
+TEST(KalaiSmorodinsky, SymmetricProblemGivesEqualSplit) {
+  BargainingProblem p(linear_frontier(), {0, 0});
+  auto r = kalai_smorodinsky(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->u1, 0.5, 1e-6);
+  EXPECT_NEAR(r->u2, 0.5, 1e-6);
+}
+
+TEST(KalaiSmorodinsky, EqualRelativeGains) {
+  BargainingProblem p(linear_frontier(), {0.2, 0.1});
+  auto r = kalai_smorodinsky(p);
+  ASSERT_TRUE(r.ok());
+  auto ideal = p.ideal_point().take();
+  const double g1 = (r->u1 - 0.2) / (ideal.u1 - 0.2);
+  const double g2 = (r->u2 - 0.1) / (ideal.u2 - 0.1);
+  EXPECT_NEAR(g1, g2, 1e-6);
+}
+
+TEST(Egalitarian, EqualAbsoluteGains) {
+  BargainingProblem p(linear_frontier(), {0.3, 0.1});
+  auto r = egalitarian(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->u1 - 0.3, r->u2 - 0.1, 1e-6);
+  // On u1+u2=1 with equal gains: u1 = (1 + 0.3 - 0.1)/2 = 0.6.
+  EXPECT_NEAR(r->u1, 0.6, 1e-6);
+}
+
+TEST(Utilitarian, PicksTheSumMaximisingVertex) {
+  // Asymmetric staircase: (0.9, 0.3) has the largest sum.
+  BargainingProblem p({{0.2, 0.8}, {0.5, 0.6}, {0.9, 0.3}}, {0, 0});
+  auto r = utilitarian(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->u1, 0.9);
+}
+
+TEST(Alternatives, AllInfeasibleWithoutRationalPoints) {
+  BargainingProblem p(linear_frontier(), {2, 2});
+  EXPECT_FALSE(kalai_smorodinsky(p).ok());
+  EXPECT_FALSE(egalitarian(p).ok());
+  EXPECT_FALSE(utilitarian(p).ok());
+}
+
+TEST(Alternatives, CoincideOnSymmetricLinearProblems) {
+  // With zero threat on the symmetric linear frontier, NBS, KS and
+  // egalitarian all pick the midpoint.
+  BargainingProblem p(linear_frontier(), {0, 0});
+  auto nbs = nash_bargaining_hull(p).take();
+  auto ks = kalai_smorodinsky(p).take();
+  auto eg = egalitarian(p).take();
+  EXPECT_NEAR(nbs.solution.u1, ks.u1, 1e-6);
+  EXPECT_NEAR(ks.u1, eg.u1, 1e-6);
+}
+
+TEST(Alternatives, DivergeOnAsymmetricConcaveProblems) {
+  // Concave frontier biased toward player 2; with an asymmetric threat the
+  // three solutions pick measurably different points.
+  std::vector<UtilityPoint> pts;
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i / 1000.0;
+    pts.push_back({t, std::pow(1.0 - std::pow(t, 3.0), 1.0 / 1.5)});
+  }
+  BargainingProblem p(std::move(pts), {0.05, 0.0});
+  auto nbs = nash_bargaining_hull(p).take();
+  auto ks = kalai_smorodinsky(p).take();
+  auto ut = utilitarian(p).take();
+  EXPECT_GT(std::abs(nbs.solution.u1 - ks.u1) +
+                std::abs(nbs.solution.u1 - ut.u1),
+            1e-3);
+}
+
+TEST(KalaiSmorodinsky, SolutionIsFeasibleAndNearFrontier) {
+  BargainingProblem p(linear_frontier(), {0.1, 0.25});
+  auto r = kalai_smorodinsky(p).take();
+  EXPECT_NEAR(r.u1 + r.u2, 1.0, 1e-6);
+  EXPECT_GE(r.u1, 0.1);
+  EXPECT_GE(r.u2, 0.25);
+}
+
+}  // namespace
+}  // namespace edb::game

@@ -1,0 +1,112 @@
+// Property tests for the four Nash axioms the paper cites, run against both
+// NBS variants on a family of synthetic frontiers.
+#include "game/axioms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace edb::game {
+namespace {
+
+std::vector<UtilityPoint> concave_frontier(double power, int n = 401) {
+  // u2 = (1 - u1^p)^(1/p): p = 1 linear, p = 2 circle, p > 1 concave.
+  std::vector<UtilityPoint> pts;
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (n - 1);
+    pts.push_back({t, std::pow(1.0 - std::pow(t, power), 1.0 / power)});
+  }
+  return pts;
+}
+
+class AxiomTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AxiomTest, ParetoOptimalityHolds) {
+  BargainingProblem p(concave_frontier(GetParam()), {0.05, 0.1});
+  for (NbsSolver solve : {&nash_bargaining, &nash_bargaining_hull}) {
+    auto r = solve(p);
+    ASSERT_TRUE(r.ok());
+    auto report = check_pareto_optimality(p, r->solution, 1e-6);
+    EXPECT_TRUE(report.holds) << report.detail;
+  }
+}
+
+TEST_P(AxiomTest, SymmetryHolds) {
+  // Symmetric frontier + symmetric threat point.
+  BargainingProblem p(concave_frontier(GetParam()), {0.1, 0.1});
+  for (NbsSolver solve : {&nash_bargaining, &nash_bargaining_hull}) {
+    auto report = check_symmetry(p, solve, 1e-6);
+    EXPECT_TRUE(report.holds) << report.detail;
+  }
+}
+
+TEST_P(AxiomTest, ScaleInvarianceHolds) {
+  BargainingProblem p(concave_frontier(GetParam()), {0.05, 0.15});
+  for (NbsSolver solve : {&nash_bargaining, &nash_bargaining_hull}) {
+    auto report =
+        check_scale_invariance(p, solve, 3.0, 2.0, 0.5, -1.0, 1e-6);
+    EXPECT_TRUE(report.holds) << report.detail;
+    // And with a different map.
+    report = check_scale_invariance(p, solve, 0.1, 0.0, 10.0, 5.0, 1e-6);
+    EXPECT_TRUE(report.holds) << report.detail;
+  }
+}
+
+TEST_P(AxiomTest, IndependenceOfIrrelevantAlternativesHolds) {
+  BargainingProblem p(concave_frontier(GetParam()), {0.1, 0.05});
+  for (NbsSolver solve : {&nash_bargaining, &nash_bargaining_hull}) {
+    auto report = check_iia(p, solve, 1e-6);
+    EXPECT_TRUE(report.holds) << report.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FrontierShapes, AxiomTest,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 5.0),
+                         [](const auto& info) {
+                           return "p" + std::to_string(static_cast<int>(
+                                      info.param * 10));
+                         });
+
+TEST(AxiomCheckers, ParetoCheckerDetectsDominatedCandidate) {
+  BargainingProblem p(concave_frontier(2.0), {0, 0});
+  auto report = check_pareto_optimality(p, {0.2, 0.2});
+  EXPECT_FALSE(report.holds);
+}
+
+TEST(AxiomCheckers, SymmetryCheckerDetectsBrokenSolver) {
+  // A "solver" that always favours player 1's best rational point.
+  NbsSolver biased = [](const BargainingProblem& prob)
+      -> Expected<NbsResult> {
+    auto rational = prob.rational_frontier();
+    if (rational.empty()) {
+      return make_error(ErrorCode::kInfeasible, "empty");
+    }
+    NbsResult r;
+    r.solution = rational.back();  // max u1
+    r.segment_a = r.segment_b = r.solution;
+    return r;
+  };
+  BargainingProblem p(concave_frontier(2.0), {0.1, 0.1});
+  auto report = check_symmetry(p, biased, 1e-6);
+  EXPECT_FALSE(report.holds);
+}
+
+TEST(AxiomCheckers, RandomisedFrontiersNeverViolateAxioms) {
+  // Fuzz: random concave frontiers via random powers and threats.
+  Rng rng(0xa71037);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double power = rng.uniform(1.0, 6.0);
+    const double v1 = rng.uniform(0.0, 0.3);
+    const double v2 = rng.uniform(0.0, 0.3);
+    BargainingProblem p(concave_frontier(power, 301), {v1, v2});
+    auto r = nash_bargaining_hull(p);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(check_pareto_optimality(p, r->solution, 1e-6).holds);
+    EXPECT_TRUE(check_iia(p, &nash_bargaining_hull, 1e-6).holds);
+  }
+}
+
+}  // namespace
+}  // namespace edb::game

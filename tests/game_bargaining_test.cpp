@@ -1,0 +1,97 @@
+#include "game/bargaining.h"
+
+#include <gtest/gtest.h>
+
+namespace edb::game {
+namespace {
+
+std::vector<UtilityPoint> staircase() {
+  // A Pareto staircase plus interior (dominated) chaff.
+  return {{1, 9}, {3, 7}, {5, 5}, {7, 3}, {9, 1},
+          {2, 2}, {4, 4}, {0, 0}, {6, 2}};
+}
+
+TEST(ParetoMaxFilter, KeepsOnlyTheStaircase) {
+  auto front = pareto_max_filter(staircase());
+  ASSERT_EQ(front.size(), 5u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].u1, front[i - 1].u1);
+    EXPECT_LT(front[i].u2, front[i - 1].u2);
+  }
+}
+
+TEST(ParetoMaxFilter, SinglePoint) {
+  auto front = pareto_max_filter({{2, 3}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].u1, 2);
+}
+
+TEST(BargainingProblem, FrontierComputedOnConstruction) {
+  BargainingProblem p(staircase(), {0, 0});
+  EXPECT_EQ(p.frontier().size(), 5u);
+  EXPECT_EQ(p.feasible().size(), 9u);
+}
+
+TEST(BargainingProblem, RationalFrontierFiltersBelowThreat) {
+  BargainingProblem p(staircase(), {4, 4});
+  auto rational = p.rational_frontier();
+  // Only (5,5) and (7,3)? (7,3): u2=3 < 4 -> out. Only (5,5).
+  ASSERT_EQ(rational.size(), 1u);
+  EXPECT_DOUBLE_EQ(rational[0].u1, 5);
+}
+
+TEST(BargainingProblem, IdealPointIsComponentwiseMax) {
+  BargainingProblem p(staircase(), {2, 2});
+  auto ideal = p.ideal_point();
+  ASSERT_TRUE(ideal.ok());
+  // Rational frontier: (3,7), (5,5), (7,3).
+  EXPECT_DOUBLE_EQ(ideal->u1, 7);
+  EXPECT_DOUBLE_EQ(ideal->u2, 7);
+}
+
+TEST(BargainingProblem, IdealPointErrorsWhenNothingRational) {
+  BargainingProblem p(staircase(), {100, 100});
+  EXPECT_FALSE(p.ideal_point().ok());
+  EXPECT_FALSE(p.has_gains());
+}
+
+TEST(BargainingProblem, HasGainsDetectsStrictImprovement) {
+  BargainingProblem p(staircase(), {4.9, 4.9});
+  EXPECT_TRUE(p.has_gains());  // (5,5) strictly dominates the threat
+  BargainingProblem q(staircase(), {5, 5});
+  EXPECT_FALSE(q.has_gains());  // equality is not a strict gain
+}
+
+TEST(BargainingProblem, SwappedMirrorsEverything) {
+  BargainingProblem p({{1, 8}, {4, 2}}, {0, 1});
+  auto s = p.swapped();
+  EXPECT_DOUBLE_EQ(s.disagreement().u1, 1);
+  EXPECT_DOUBLE_EQ(s.disagreement().u2, 0);
+  bool found = false;
+  for (const auto& q : s.feasible()) {
+    if (q.u1 == 8 && q.u2 == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BargainingProblem, RescaledAppliesAffineMaps) {
+  BargainingProblem p({{1, 2}, {3, 1}}, {0, 0});
+  auto r = p.rescaled(2, 1, 3, -1);
+  EXPECT_DOUBLE_EQ(r.disagreement().u1, 1);
+  EXPECT_DOUBLE_EQ(r.disagreement().u2, -1);
+  bool found = false;
+  for (const auto& q : r.feasible()) {
+    if (q.u1 == 3 && q.u2 == 5) found = true;  // (1,2) -> (2*1+1, 3*2-1)
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BargainingProblem, DominatesUtilHelper) {
+  EXPECT_TRUE(dominates_util({2, 2}, {1, 2}));
+  EXPECT_TRUE(dominates_util({2, 3}, {1, 2}));
+  EXPECT_FALSE(dominates_util({2, 2}, {2, 2}));
+  EXPECT_FALSE(dominates_util({2, 1}, {1, 2}));
+}
+
+}  // namespace
+}  // namespace edb::game

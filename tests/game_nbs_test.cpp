@@ -1,0 +1,120 @@
+#include "game/nbs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace edb::game {
+namespace {
+
+// Dense sample of the linear frontier u2 = 1 - u1.
+std::vector<UtilityPoint> linear_frontier(int n = 201) {
+  std::vector<UtilityPoint> pts;
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (n - 1);
+    pts.push_back({t, 1.0 - t});
+  }
+  return pts;
+}
+
+TEST(Nbs, LinearFrontierZeroThreatPicksMidpoint) {
+  BargainingProblem p(linear_frontier(), {0, 0});
+  auto r = nash_bargaining(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->solution.u1, 0.5, 1e-9);
+  EXPECT_NEAR(r->solution.u2, 0.5, 1e-9);
+  EXPECT_NEAR(r->nash_product, 0.25, 1e-9);
+}
+
+TEST(Nbs, AsymmetricThreatShiftsTheAgreement) {
+  // Threat (0.4, 0): player 1 already guaranteed 0.4, so the surplus split
+  // happens above it: maximise (u1-0.4)(1-u1) -> u1* = 0.7.
+  BargainingProblem p(linear_frontier(2001), {0.4, 0.0});
+  auto r = nash_bargaining(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->solution.u1, 0.7, 1e-3);
+}
+
+TEST(Nbs, NoRationalPointIsInfeasible) {
+  BargainingProblem p(linear_frontier(), {0.8, 0.8});
+  auto r = nash_bargaining(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInfeasible);
+}
+
+TEST(Nbs, SolutionIsOnTheFrontier) {
+  std::vector<UtilityPoint> pts;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i / 100.0;
+    pts.push_back({t, std::sqrt(1.0 - t * t)});  // quarter circle
+    pts.push_back({t * 0.5, 0.3});               // interior chaff
+  }
+  BargainingProblem p(std::move(pts), {0, 0});
+  auto r = nash_bargaining(p);
+  ASSERT_TRUE(r.ok());
+  // On the circle the Nash product t*sqrt(1-t^2) peaks at t = 1/sqrt(2).
+  EXPECT_NEAR(r->solution.u1, 1.0 / std::sqrt(2.0), 0.02);
+  EXPECT_NEAR(r->solution.u2, 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(NbsHull, MatchesFiniteOnDenseSamples) {
+  BargainingProblem p(linear_frontier(1001), {0.1, 0.2});
+  auto fin = nash_bargaining(p);
+  auto hull = nash_bargaining_hull(p);
+  ASSERT_TRUE(fin.ok());
+  ASSERT_TRUE(hull.ok());
+  EXPECT_NEAR(fin->solution.u1, hull->solution.u1, 1e-3);
+  EXPECT_GE(hull->nash_product, fin->nash_product - 1e-12);
+}
+
+TEST(NbsHull, InterpolatesSparseVertices) {
+  // Only the segment endpoints are sampled; the hull solution lies mid-
+  // segment where the product is maximal.
+  BargainingProblem p({{0, 1}, {1, 0}}, {0, 0});
+  auto hull = nash_bargaining_hull(p);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_NEAR(hull->solution.u1, 0.5, 1e-9);
+  EXPECT_NEAR(hull->solution.u2, 0.5, 1e-9);
+  EXPECT_NEAR(hull->t, 0.5, 1e-9);
+  // The finite solver can only pick a corner with product 0.
+  auto fin = nash_bargaining(p);
+  ASSERT_TRUE(fin.ok());
+  EXPECT_NEAR(fin->nash_product, 0.0, 1e-12);
+  EXPECT_GT(hull->nash_product, fin->nash_product);
+}
+
+TEST(NbsHull, ConcaveFrontierStaysOnVertices) {
+  // Strictly concave frontier (quarter circle): hull segments lie below the
+  // curve, so with dense samples the vertex solution wins.
+  std::vector<UtilityPoint> pts;
+  for (int i = 0; i <= 2000; ++i) {
+    const double t = i / 2000.0;
+    pts.push_back({t, std::sqrt(1.0 - t * t)});
+  }
+  BargainingProblem p(std::move(pts), {0, 0});
+  auto hull = nash_bargaining_hull(p);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_NEAR(hull->solution.u1, 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(Nbs, ParetoOptimalityOfTheSolution) {
+  BargainingProblem p(linear_frontier(501), {0.2, 0.1});
+  auto r = nash_bargaining(p);
+  ASSERT_TRUE(r.ok());
+  for (const auto& q : p.feasible()) {
+    EXPECT_FALSE(q.u1 > r->solution.u1 + 1e-12 &&
+                 q.u2 > r->solution.u2 + 1e-12);
+  }
+}
+
+TEST(Nbs, DegenerateSingleRationalPoint) {
+  BargainingProblem p({{0.5, 0.5}, {0.1, 0.1}}, {0.4, 0.4});
+  auto r = nash_bargaining(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->solution.u1, 0.5);
+}
+
+}  // namespace
+}  // namespace edb::game

@@ -1,0 +1,103 @@
+#include "game/weighted_nbs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/axioms.h"
+
+namespace edb::game {
+namespace {
+
+std::vector<UtilityPoint> linear_frontier(int n = 2001) {
+  std::vector<UtilityPoint> pts;
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (n - 1);
+    pts.push_back({t, 1.0 - t});
+  }
+  return pts;
+}
+
+TEST(WeightedNbs, HalfWeightRecoversSymmetricNbs) {
+  BargainingProblem p(linear_frontier(), {0.1, 0.2});
+  auto sym = nash_bargaining_hull(p).take();
+  auto weighted = weighted_nash_bargaining(p, 0.5).take();
+  EXPECT_NEAR(weighted.solution.u1, sym.solution.u1, 1e-6);
+  EXPECT_NEAR(weighted.solution.u2, sym.solution.u2, 1e-6);
+}
+
+TEST(WeightedNbs, LinearFrontierClosedForm) {
+  // On u1 + u2 = 1 with threat (0,0): maximise u^a (1-u)^(1-a) -> u* = a.
+  BargainingProblem p(linear_frontier(), {0, 0});
+  for (double alpha : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    auto r = weighted_nash_bargaining(p, alpha).take();
+    EXPECT_NEAR(r.solution.u1, alpha, 1e-6) << alpha;
+  }
+}
+
+TEST(WeightedNbs, MorePowerMoreUtility) {
+  BargainingProblem p(linear_frontier(), {0.05, 0.05});
+  double prev = -1;
+  for (double alpha : {0.2, 0.4, 0.6, 0.8}) {
+    auto r = weighted_nash_bargaining(p, alpha).take();
+    EXPECT_GT(r.solution.u1, prev) << alpha;
+    prev = r.solution.u1;
+  }
+}
+
+TEST(WeightedNbs, RejectsInvalidAlpha) {
+  BargainingProblem p(linear_frontier(), {0, 0});
+  EXPECT_FALSE(weighted_nash_bargaining(p, 0.0).ok());
+  EXPECT_FALSE(weighted_nash_bargaining(p, 1.0).ok());
+  EXPECT_FALSE(weighted_nash_bargaining(p, -0.5).ok());
+}
+
+TEST(WeightedNbs, InfeasibleWithoutRationalPoints) {
+  BargainingProblem p(linear_frontier(), {2, 2});
+  auto r = weighted_nash_bargaining(p, 0.3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInfeasible);
+}
+
+TEST(WeightedNbs, SolutionIsParetoOptimal) {
+  std::vector<UtilityPoint> pts;
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i / 1000.0;
+    pts.push_back({t, std::sqrt(1.0 - t * t)});
+  }
+  BargainingProblem p(std::move(pts), {0.05, 0.1});
+  for (double alpha : {0.2, 0.5, 0.8}) {
+    auto r = weighted_nash_bargaining(p, alpha).take();
+    auto report = check_pareto_optimality(p, r.solution, 1e-4);
+    EXPECT_TRUE(report.holds) << alpha << ": " << report.detail;
+  }
+}
+
+TEST(WeightedNbs, ScaleInvariantLikeTheSymmetricSolution) {
+  BargainingProblem p(linear_frontier(), {0.1, 0.05});
+  const double alpha = 0.7;
+  auto base = weighted_nash_bargaining(p, alpha).take();
+  auto scaled =
+      weighted_nash_bargaining(p.rescaled(2.0, 1.0, 5.0, -2.0), alpha).take();
+  EXPECT_NEAR(scaled.solution.u1, 2.0 * base.solution.u1 + 1.0, 1e-6);
+  EXPECT_NEAR(scaled.solution.u2, 5.0 * base.solution.u2 - 2.0, 1e-6);
+}
+
+TEST(WeightedNbs, QuarterCircleClosedForm) {
+  // On u2 = sqrt(1-u1^2) with threat 0: maximise a*log(u) +
+  // (1-a)/2*log(1-u^2); the derivative vanishes at u* = sqrt(a).
+  std::vector<UtilityPoint> pts;
+  for (int i = 0; i <= 4000; ++i) {
+    const double t = i / 4000.0;
+    pts.push_back({t, std::sqrt(1.0 - t * t)});
+  }
+  BargainingProblem p(std::move(pts), {0, 0});
+  for (double alpha : {0.3, 0.5, 0.7}) {
+    auto r = weighted_nash_bargaining(p, alpha).take();
+    const double expected = std::sqrt(alpha);
+    EXPECT_NEAR(r.solution.u1, expected, 2e-3) << alpha;
+  }
+}
+
+}  // namespace
+}  // namespace edb::game

@@ -1,0 +1,100 @@
+#include "mac/dmac.h"
+
+#include <gtest/gtest.h>
+
+namespace edb::mac {
+namespace {
+
+class DmacTest : public ::testing::Test {
+ protected:
+  ModelContext ctx_;
+  DmacModel model_{ctx_};
+};
+
+TEST_F(DmacTest, OneParameterCycleLength) {
+  ASSERT_EQ(model_.params().dim(), 1u);
+  EXPECT_EQ(model_.params().info(0).name, "T");
+  EXPECT_DOUBLE_EQ(model_.params().info(0).lo, 0.5);
+  EXPECT_DOUBLE_EQ(model_.params().info(0).hi, 12.0);
+}
+
+TEST_F(DmacTest, SlotWidthCoversContentionDataAck) {
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  EXPECT_NEAR(model_.slot_width(),
+              7e-3 + p.data_airtime(r) + p.ack_airtime(r) +
+                  2 * r.t_turnaround,
+              1e-12);
+}
+
+TEST_F(DmacTest, DutyCycleCostIsTwoSlotsPerCycle) {
+  const std::vector<double> x{2.0};
+  const auto pw = model_.power_at_ring(x, 1);
+  EXPECT_NEAR(pw.cs, 2.0 * model_.slot_width() * ctx_.radio.p_rx / 2.0,
+              1e-12);
+  // Staggered schedules overhear inside mandatory slots: no separate cost.
+  EXPECT_DOUBLE_EQ(pw.ovr, 0.0);
+  // Synchronised protocol: sync terms present.
+  EXPECT_GT(pw.stx, 0.0);
+  EXPECT_GT(pw.srx, 0.0);
+}
+
+TEST_F(DmacTest, EnergyStrictlyDecreasingInCycle) {
+  double prev = 1e9;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0, 12.0}) {
+    const double e = model_.energy({t});
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST_F(DmacTest, LatencyIsHalfCyclePlusSlotPipeline) {
+  const std::vector<double> x{4.0};
+  EXPECT_NEAR(model_.source_wait(x), 2.0, 1e-12);
+  EXPECT_NEAR(model_.hop_latency(x, 3), model_.slot_width(), 1e-12);
+  EXPECT_NEAR(model_.latency(x),
+              2.0 + ctx_.ring.depth * model_.slot_width(), 1e-12);
+}
+
+TEST_F(DmacTest, LatencyStrictlyIncreasingInCycle) {
+  double prev = 0;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0, 12.0}) {
+    const double l = model_.latency({t});
+    EXPECT_GT(l, prev);
+    prev = l;
+  }
+}
+
+TEST_F(DmacTest, PaperCalibrationRanges) {
+  // Fig. 1b: the E axis reaches ~0.06 J at Lmax = 1 s and the cycle upper
+  // bound leaves the energy floor just under the 0.01 J budget.
+  const double t_for_1s = 2.0 * (1.0 - ctx_.ring.depth * model_.slot_width());
+  EXPECT_GT(model_.energy({t_for_1s}), 0.05);
+  EXPECT_LT(model_.energy({t_for_1s}), 0.062);
+  EXPECT_LT(model_.energy({11.9}), 0.01);
+}
+
+TEST_F(DmacTest, CapacityConstraintBindsUnderHeavyTraffic) {
+  ModelContext heavy = ctx_;
+  heavy.fs = 0.05;  // f_out(1) = 1.25 pkt/s; at T = 12 s that is 15 > k_chain
+  DmacModel jam(heavy);
+  EXPECT_LT(jam.feasibility_margin({12.0}), 0.0);
+  EXPECT_GT(jam.feasibility_margin({0.5}), 0.0);  // short cycles still fine
+}
+
+TEST_F(DmacTest, BottleneckIsRingOne) {
+  EXPECT_EQ(model_.bottleneck_ring({2.0}), 1);
+}
+
+TEST_F(DmacTest, SyncCostsFallWithLongerSyncPeriod) {
+  DmacConfig slow_sync;
+  slow_sync.sync_period = 1000.0;
+  DmacModel lazy(ctx_, slow_sync);
+  const auto fast = model_.power_at_ring({2.0}, 1);
+  const auto slow = lazy.power_at_ring({2.0}, 1);
+  EXPECT_LT(slow.stx, fast.stx);
+  EXPECT_LT(slow.srx, fast.srx);
+}
+
+}  // namespace
+}  // namespace edb::mac

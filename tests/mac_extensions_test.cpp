@@ -1,0 +1,91 @@
+// Tests for the extension baselines: B-MAC (long preamble LPL) and SCP-MAC
+// (scheduled channel polling).
+#include <gtest/gtest.h>
+
+#include "mac/bmac.h"
+#include "mac/scpmac.h"
+#include "mac/xmac.h"
+
+namespace edb::mac {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ModelContext ctx_;
+};
+
+TEST_F(ExtensionsTest, BmacSenderPaysFullPreamble) {
+  BmacModel bmac(ctx_);
+  XmacModel xmac(ctx_);
+  // At the same wake interval the B-MAC sender transmits the whole Tw-long
+  // preamble while X-MAC averages half of it (and at mixed tx/rx power), so
+  // B-MAC's tx term must exceed X-MAC's.
+  const std::vector<double> x{0.5};
+  EXPECT_GT(bmac.power_at_ring(x, 1).tx, xmac.power_at_ring(x, 1).tx);
+}
+
+TEST_F(ExtensionsTest, BmacOverhearingCostExceedsXmac) {
+  BmacModel bmac(ctx_);
+  XmacModel xmac(ctx_);
+  // Unaddressed preambles force B-MAC overhearers to wait for the data
+  // header; X-MAC overhearers quit after one strobe.
+  const std::vector<double> x{0.5};
+  EXPECT_GT(bmac.power_at_ring(x, 1).ovr, xmac.power_at_ring(x, 1).ovr);
+}
+
+TEST_F(ExtensionsTest, BmacLatencyIsFullPreamblePerHop) {
+  BmacModel bmac(ctx_);
+  const std::vector<double> x{0.5};
+  EXPECT_NEAR(bmac.hop_latency(x, 1),
+              0.5 + ctx_.packet.data_airtime(ctx_.radio), 1e-12);
+}
+
+TEST_F(ExtensionsTest, BmacEnergyUShapedLikeAllLplProtocols) {
+  BmacModel bmac(ctx_);
+  const double lo = bmac.energy({0.02});
+  const double mid = bmac.energy({0.3});
+  const double hi = bmac.energy({2.5});
+  EXPECT_LT(mid, lo);
+  EXPECT_LT(mid, hi);
+}
+
+TEST_F(ExtensionsTest, ScpToneIsShorterThanLplPreamble) {
+  ScpmacModel scp(ctx_);
+  // The whole point of scheduled polling: the wake-up tone covers only the
+  // schedule uncertainty, not the full poll period.
+  EXPECT_LT(scp.tone_duration(), 0.05);
+  EXPECT_GT(scp.tone_duration(), 0.0);
+}
+
+TEST_F(ExtensionsTest, ScpBeatsXmacOnTxEnergyAtSameWakeInterval) {
+  ScpmacModel scp(ctx_);
+  XmacModel xmac(ctx_);
+  const std::vector<double> x{0.5};
+  EXPECT_LT(scp.power_at_ring(x, 1).tx, xmac.power_at_ring(x, 1).tx);
+}
+
+TEST_F(ExtensionsTest, ScpPaysSyncWhereXmacDoesNot) {
+  ScpmacModel scp(ctx_);
+  const auto p = scp.power_at_ring({0.5}, 1);
+  EXPECT_GT(p.stx, 0.0);
+  EXPECT_GT(p.srx, 0.0);
+}
+
+TEST_F(ExtensionsTest, ScpLatencyHalfPollPeriodPerHop) {
+  ScpmacModel scp(ctx_);
+  const std::vector<double> x{1.0};
+  const double expected = 0.5 + scp.tone_duration() +
+                          ctx_.packet.data_airtime(ctx_.radio) +
+                          ctx_.packet.ack_airtime(ctx_.radio);
+  EXPECT_NEAR(scp.hop_latency(x, 1), expected, 1e-12);
+}
+
+TEST_F(ExtensionsTest, BothFeasibleAtPaperLoad) {
+  BmacModel bmac(ctx_);
+  ScpmacModel scp(ctx_);
+  EXPECT_GT(bmac.feasibility_margin({0.5}), 0.0);
+  EXPECT_GT(scp.feasibility_margin({0.5}), 0.0);
+}
+
+}  // namespace
+}  // namespace edb::mac

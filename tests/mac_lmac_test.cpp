@@ -1,0 +1,107 @@
+#include "mac/lmac.h"
+
+#include <gtest/gtest.h>
+
+namespace edb::mac {
+namespace {
+
+class LmacTest : public ::testing::Test {
+ protected:
+  ModelContext ctx_;
+  LmacModel model_{ctx_};
+};
+
+TEST_F(LmacTest, OneParameterSlotDuration) {
+  ASSERT_EQ(model_.params().dim(), 1u);
+  EXPECT_EQ(model_.params().info(0).name, "t_slot");
+  EXPECT_DOUBLE_EQ(model_.params().info(0).lo, 3e-3);
+  EXPECT_DOUBLE_EQ(model_.params().info(0).hi, 0.6);
+}
+
+TEST_F(LmacTest, FrameIsSlotsTimesSlotWidth) {
+  EXPECT_EQ(model_.config().n_slots, 16);
+  EXPECT_DOUBLE_EQ(model_.frame_length({0.05}), 0.8);
+}
+
+TEST_F(LmacTest, EnergyDominatedByControlSections) {
+  const std::vector<double> x{0.05};
+  const auto p = model_.power_at_ring(x, 1);
+  // TDMA: no carrier sensing, no overhearing cost.
+  EXPECT_DOUBLE_EQ(p.cs, 0.0);
+  EXPECT_DOUBLE_EQ(p.ovr, 0.0);
+  // Listening to the other 15 control sections dwarfs everything else.
+  EXPECT_GT(p.srx, p.stx);
+  EXPECT_GT(p.srx, p.tx + p.rx);
+  // Hand-check srx: (n-1) * (startup + CM airtime) * Prx / frame.
+  const auto& r = ctx_.radio;
+  const double expected =
+      15.0 * (r.t_startup + ctx_.packet.ctrl_airtime(r)) * r.p_rx / 0.8;
+  EXPECT_NEAR(p.srx, expected, 1e-12);
+}
+
+TEST_F(LmacTest, EnergyStrictlyDecreasingInSlotWidth) {
+  double prev = 1e9;
+  for (double ts : {0.003, 0.01, 0.05, 0.1, 0.3, 0.6}) {
+    const double e = model_.energy({ts});
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST_F(LmacTest, LatencyIsHalfFramePlusOwnSlotPerHop) {
+  const std::vector<double> x{0.05};
+  EXPECT_NEAR(model_.hop_latency(x, 2), (8.0 + 1.0) * 0.05, 1e-12);
+  EXPECT_NEAR(model_.latency(x), 5 * 9.0 * 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(model_.source_wait(x), 0.0);
+}
+
+TEST_F(LmacTest, PaperCalibrationRanges) {
+  // Fig. 1c/2c: LMAC is the most expensive protocol — E about 0.22 J at
+  // Lmax = 1 s (paper axis tops at 0.25 J) and still ~0.04 J at 6 s.
+  const double ts_1s = 1.0 / 45.0;
+  EXPECT_GT(model_.energy({ts_1s}), 0.2);
+  EXPECT_LT(model_.energy({ts_1s}), 0.25);
+  const double ts_6s = 6.0 / 45.0;
+  EXPECT_GT(model_.energy({ts_6s}), 0.035);
+  EXPECT_LT(model_.energy({ts_6s}), 0.040);
+}
+
+TEST_F(LmacTest, SlotMustFitControlPlusData) {
+  // min_slot_width = startup + CM + data + guard.
+  const auto& r = ctx_.radio;
+  EXPECT_NEAR(model_.min_slot_width(),
+              r.t_startup + ctx_.packet.ctrl_airtime(r) +
+                  ctx_.packet.data_airtime(r) + 0.5e-3,
+              1e-12);
+  EXPECT_GT(model_.feasibility_margin({0.003}), 0.0);
+}
+
+TEST_F(LmacTest, CapacityConstraintBindsUnderHeavyTraffic) {
+  ModelContext heavy = ctx_;
+  heavy.fs = 0.01;  // f_out(1) = 0.25 pkt/s; 16 * 0.6 s frame -> load 2.4
+  LmacModel jam(heavy);
+  EXPECT_LT(jam.feasibility_margin({0.6}), 0.0);
+  EXPECT_GT(jam.feasibility_margin({0.01}), 0.0);
+}
+
+TEST_F(LmacTest, MoreSlotsLowerOwnCmCostButLongerFrames) {
+  LmacConfig wide;
+  wide.n_slots = 32;
+  LmacModel big(ctx_, wide);
+  const auto p16 = model_.power_at_ring({0.05}, 1);
+  const auto p32 = big.power_at_ring({0.05}, 1);
+  // Own CM is sent once per (longer) frame.
+  EXPECT_LT(p32.stx, p16.stx);
+  // But the e2e latency doubles with the frame.
+  // Per-hop (n/2 + 1) t_slot: ratio 17/9 between n = 32 and n = 16.
+  EXPECT_GT(big.latency({0.05}), 1.85 * model_.latency({0.05}));
+}
+
+TEST_F(LmacTest, FrameTooSmallForDensityIsRejected) {
+  LmacConfig tiny;
+  tiny.n_slots = 8;  // < 2*density + 2 = 16
+  EXPECT_DEATH(LmacModel(ctx_, tiny), "collision-free");
+}
+
+}  // namespace
+}  // namespace edb::mac

@@ -1,0 +1,235 @@
+// Cross-protocol property tests, parameterised over every registered MAC
+// model.  These pin down the structural invariants the game framework
+// relies on: positive smooth metrics, correct breakdown accounting, the
+// bottleneck ring, monotone latency, and the protocol energy ordering the
+// paper's figure axes encode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "mac/registry.h"
+#include "util/math.h"
+
+namespace edb::mac {
+namespace {
+
+class MacPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    model_ = make_model(GetParam(), ModelContext{}).take();
+  }
+
+  // A handful of representative points across the parameter box.
+  std::vector<std::vector<double>> probe_points() const {
+    const auto lo = model_->params().lower();
+    const auto hi = model_->params().upper();
+    std::vector<std::vector<double>> pts;
+    for (double t : {0.02, 0.25, 0.5, 0.75, 0.98}) {
+      std::vector<double> x(lo.size());
+      for (std::size_t i = 0; i < lo.size(); ++i) {
+        x[i] = lo[i] + t * (hi[i] - lo[i]);
+      }
+      pts.push_back(std::move(x));
+    }
+    return pts;
+  }
+
+  std::unique_ptr<AnalyticMacModel> model_;
+};
+
+TEST_P(MacPropertyTest, MetricsArePositiveAndFinite) {
+  for (const auto& x : probe_points()) {
+    const double e = model_->energy(x);
+    const double l = model_->latency(x);
+    EXPECT_TRUE(std::isfinite(e)) << GetParam();
+    EXPECT_TRUE(std::isfinite(l));
+    EXPECT_GT(e, 0.0);
+    EXPECT_GT(l, 0.0);
+  }
+}
+
+TEST_P(MacPropertyTest, BreakdownTermsAreNonNegativeAndSumToTotal) {
+  for (const auto& x : probe_points()) {
+    for (int d = 1; d <= model_->context().ring.depth; ++d) {
+      const auto p = model_->power_at_ring(x, d);
+      EXPECT_GE(p.cs, 0.0);
+      EXPECT_GE(p.tx, 0.0);
+      EXPECT_GE(p.rx, 0.0);
+      EXPECT_GE(p.ovr, 0.0);
+      EXPECT_GE(p.stx, 0.0);
+      EXPECT_GE(p.srx, 0.0);
+      EXPECT_GE(p.sleep, 0.0);
+      EXPECT_NEAR(p.total(),
+                  p.cs + p.tx + p.rx + p.ovr + p.stx + p.srx + p.sleep,
+                  1e-15);
+    }
+  }
+}
+
+TEST_P(MacPropertyTest, EnergyBreakdownScalesPowerByEpoch) {
+  const auto x = model_->params().midpoint();
+  const auto pw = model_->power_at_ring(x, 1);
+  const auto eb = model_->energy_breakdown(x, 1);
+  const double epoch = model_->context().energy_epoch;
+  EXPECT_NEAR(eb.cs, pw.cs * epoch, 1e-12);
+  EXPECT_NEAR(eb.total(), pw.total() * epoch, 1e-9);
+}
+
+TEST_P(MacPropertyTest, BottleneckIsTheInnermostRing) {
+  // Ring 1 funnels the whole network's traffic; with uniform duty-cycle
+  // costs it must be the max-power ring.  WiseMAC is the exception by
+  // design: outer rings exchange packets rarely, so their schedule
+  // estimates go stale and their drift-sized preambles grow toward the
+  // full sampling period — the bottleneck can sit at any ring.
+  if (GetParam() == "WiseMAC") {
+    for (const auto& x : probe_points()) {
+      const int b = model_->bottleneck_ring(x);
+      EXPECT_GE(b, 1);
+      EXPECT_LE(b, model_->context().ring.depth);
+    }
+    return;
+  }
+  for (const auto& x : probe_points()) {
+    EXPECT_EQ(model_->bottleneck_ring(x), 1) << GetParam();
+  }
+}
+
+TEST_P(MacPropertyTest, LatencyIsMonotoneInTheDutyCycleParameter) {
+  // Vary the first parameter (the sleep-cycle knob in every model) with
+  // any remaining parameters pinned at the box midpoint.
+  const auto lo = model_->params().lower();
+  const auto hi = model_->params().upper();
+  double prev = -kInf;
+  for (double t : {0.02, 0.25, 0.5, 0.75, 0.98}) {
+    auto x = model_->params().midpoint();
+    x[0] = lo[0] + t * (hi[0] - lo[0]);
+    const double l = model_->latency(x);
+    EXPECT_GT(l, prev) << GetParam();
+    prev = l;
+  }
+}
+
+TEST_P(MacPropertyTest, LatencyGrowsLinearlyWithDepth) {
+  ModelContext shallow;
+  shallow.ring.depth = 2;
+  ModelContext deep;
+  deep.ring.depth = 8;
+  auto m_shallow = make_model(GetParam(), shallow).take();
+  auto m_deep = make_model(GetParam(), deep).take();
+  const auto x = m_shallow->params().midpoint();
+  const double per_hop_s =
+      (m_shallow->latency(x) - m_shallow->source_wait(x)) / 2.0;
+  const double per_hop_d =
+      (m_deep->latency(x) - m_deep->source_wait(x)) / 8.0;
+  if (GetParam() == "WiseMAC") {
+    // WiseMAC's drift-sized preamble varies with each ring's link rate, so
+    // per-hop latency is only approximately depth-independent.
+    EXPECT_NEAR(per_hop_s, per_hop_d, 0.3 * per_hop_s) << GetParam();
+  } else {
+    EXPECT_NEAR(per_hop_s, per_hop_d, 1e-9) << GetParam();
+  }
+}
+
+TEST_P(MacPropertyTest, EnergyNondecreasingInSamplingRate) {
+  ModelContext quiet;
+  quiet.fs = 2e-5;
+  ModelContext busy;
+  busy.fs = 2e-4;
+  auto m_quiet = make_model(GetParam(), quiet).take();
+  auto m_busy = make_model(GetParam(), busy).take();
+  const auto x = m_quiet->params().midpoint();
+  if (GetParam() == "WiseMAC") {
+    // WiseMAC inverts this: more traffic keeps schedule estimates fresh,
+    // shrinking the drift-sized preamble — total preamble power saturates
+    // at 4*theta*Ptx while the quiet network pays full-length preambles.
+    // The invariant that does hold: energy stays positive and bounded.
+    EXPECT_GT(m_busy->energy(x), 0.0);
+    EXPECT_LT(m_busy->energy(x), 10.0 * m_quiet->energy(x));
+    return;
+  }
+  EXPECT_GE(m_busy->energy(x), m_quiet->energy(x)) << GetParam();
+}
+
+TEST_P(MacPropertyTest, FeasibilityMarginIsPositiveAtPaperLoad) {
+  for (const auto& x : probe_points()) {
+    // LMAC's upper box corner exceeds frame capacity only at much higher
+    // loads; at the paper calibration every probe point is feasible.
+    EXPECT_GT(model_->feasibility_margin(x), 0.0) << GetParam();
+  }
+}
+
+TEST_P(MacPropertyTest, SmoothnessNoJumpsAcrossTheBox) {
+  // Energy and latency must be continuous: scan with a fine step and bound
+  // the relative jump between adjacent samples.
+  const auto lo = model_->params().lower();
+  const auto hi = model_->params().upper();
+  const int n = 2000;
+  double prev_e = kNaN, prev_l = kNaN;
+  for (int i = 0; i <= n; ++i) {
+    std::vector<double> x(lo.size());
+    for (std::size_t k = 0; k < lo.size(); ++k) {
+      x[k] = lo[k] + (hi[k] - lo[k]) * i / n;
+    }
+    const double e = model_->energy(x);
+    const double l = model_->latency(x);
+    if (i > 0) {
+      // 15% bounds the worst hyperbolic edge (LMAC/B-MAC near their lower
+      // box corner at this step size); a discontinuity would show as O(1).
+      EXPECT_LT(rel_diff(e, prev_e), 0.15) << GetParam() << " step " << i;
+      EXPECT_LT(rel_diff(l, prev_l), 0.15);
+    }
+    prev_e = e;
+    prev_l = l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, MacPropertyTest,
+                         ::testing::Values("X-MAC", "DMAC", "LMAC", "B-MAC",
+                                           "SCP-MAC", "S-MAC", "WiseMAC"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// Protocol ordering at equal delay bounds (the paper's figure axes:
+// X-MAC <= 0.04 J, DMAC <= 0.06 J, LMAC <= 0.25 J).
+TEST(ProtocolOrdering, EnergyAtEqualDelayXmacBeatsDmacBeatsLmac) {
+  ModelContext ctx;
+  auto xmac = make_model("X-MAC", ctx).take();
+  auto dmac = make_model("DMAC", ctx).take();
+  auto lmac = make_model("LMAC", ctx).take();
+
+  auto energy_at_delay = [](AnalyticMacModel& m, double target_l) {
+    // Invert the (monotone) latency numerically.
+    const auto lo = m.params().lower();
+    const auto hi = m.params().upper();
+    double a = lo[0], b = hi[0];
+    for (int i = 0; i < 100; ++i) {
+      const double mid = 0.5 * (a + b);
+      if (m.latency({mid}) < target_l) {
+        a = mid;
+      } else {
+        b = mid;
+      }
+    }
+    return m.energy({0.5 * (a + b)});
+  };
+
+  // Ordering holds through the paper's binding region (Lmax = 1..4 s);
+  // beyond ~5 s X-MAC's growing preamble cost lets DMAC catch up, which is
+  // also why the DMAC trade-off points crowd toward low energy in Fig. 1b.
+  for (double l : {1.0, 2.0, 3.0, 4.0}) {
+    const double ex = energy_at_delay(*xmac, l);
+    const double ed = energy_at_delay(*dmac, l);
+    const double el = energy_at_delay(*lmac, l);
+    EXPECT_LT(ex, ed) << "L=" << l;
+    EXPECT_LT(ed, el) << "L=" << l;
+  }
+}
+
+}  // namespace
+}  // namespace edb::mac

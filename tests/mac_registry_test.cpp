@@ -1,0 +1,50 @@
+#include "mac/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace edb::mac {
+namespace {
+
+TEST(Registry, PaperProtocolsAreTheFirstThree) {
+  const auto paper = paper_protocols();
+  ASSERT_EQ(paper.size(), 3u);
+  EXPECT_EQ(paper[0], "X-MAC");
+  EXPECT_EQ(paper[1], "DMAC");
+  EXPECT_EQ(paper[2], "LMAC");
+}
+
+TEST(Registry, AllRegisteredProtocolsInstantiate) {
+  for (const auto& name : registered_protocols()) {
+    auto model = make_model(name, ModelContext{});
+    ASSERT_TRUE(model.ok()) << name;
+    EXPECT_EQ((*model)->name(), name);
+    EXPECT_GE((*model)->params().dim(), 1u);
+  }
+}
+
+TEST(Registry, MatchingIsCaseAndPunctuationInsensitive) {
+  for (const char* alias : {"xmac", "X-MAC", "x_mac", "Xmac", "x mac"}) {
+    auto model = make_model(alias, ModelContext{});
+    ASSERT_TRUE(model.ok()) << alias;
+    EXPECT_EQ((*model)->name(), "X-MAC");
+  }
+  EXPECT_EQ((*make_model("scp-mac", ModelContext{}))->name(), "SCP-MAC");
+  EXPECT_EQ((*make_model("wisemac", ModelContext{}))->name(), "WiseMAC");
+}
+
+TEST(Registry, UnknownProtocolReportsNotFound) {
+  auto model = make_model("T-MAC", ModelContext{});
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.error().code, ErrorCode::kNotFound);
+}
+
+TEST(Registry, ModelsUseTheProvidedContext) {
+  ModelContext ctx;
+  ctx.ring.depth = 3;
+  auto model = make_model("dmac", ctx);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->context().ring.depth, 3);
+}
+
+}  // namespace
+}  // namespace edb::mac

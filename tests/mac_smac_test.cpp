@@ -1,0 +1,135 @@
+// S-MAC: the 2-D-parameter extension model, including full framework
+// integration cross-validated against a 2-D grid oracle.
+#include "mac/smac.h"
+
+#include <gtest/gtest.h>
+
+#include "core/game_framework.h"
+#include "util/math.h"
+
+namespace edb::mac {
+namespace {
+
+class SmacTest : public ::testing::Test {
+ protected:
+  ModelContext ctx_;
+  SmacModel model_{ctx_};
+};
+
+TEST_F(SmacTest, TwoParameters) {
+  ASSERT_EQ(model_.params().dim(), 2u);
+  EXPECT_EQ(model_.params().info(0).name, "T");
+  EXPECT_EQ(model_.params().info(1).name, "w");
+  EXPECT_DOUBLE_EQ(model_.params().info(1).lo, model_.min_window());
+}
+
+TEST_F(SmacTest, MinWindowCoversOneExchange) {
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  EXPECT_GT(model_.min_window(),
+            p.sync_airtime(r) + p.data_airtime(r) + p.ack_airtime(r));
+  EXPECT_LT(model_.min_window(), 0.1);
+}
+
+TEST_F(SmacTest, DutyCycleCostIsWindowFraction) {
+  const std::vector<double> x{2.0, 0.1};
+  const auto p = model_.power_at_ring(x, 1);
+  EXPECT_NEAR(p.cs, 0.05 * ctx_.radio.p_rx, 1e-12);
+  EXPECT_GT(p.stx, 0.0);  // synchronised protocol
+  EXPECT_GT(p.srx, 0.0);
+  EXPECT_GT(p.ovr, 0.0);  // RTS/CTS headers are overheard
+}
+
+TEST_F(SmacTest, EnergyMonotoneInBothParameters) {
+  // Larger cycle -> lower energy; wider window -> higher energy.
+  EXPECT_GT(model_.energy({1.0, 0.1}), model_.energy({4.0, 0.1}));
+  EXPECT_GT(model_.energy({4.0, 0.3}), model_.energy({4.0, 0.1}));
+}
+
+TEST_F(SmacTest, LatencyMonotoneOppositeWays) {
+  // Larger cycle -> slower; wider window -> faster (adaptive listening
+  // carries more hops per cycle).
+  EXPECT_LT(model_.latency({1.0, 0.1}), model_.latency({4.0, 0.1}));
+  EXPECT_GT(model_.latency({4.0, 0.1}), model_.latency({4.0, 0.3}));
+}
+
+TEST_F(SmacTest, AdaptiveListeningAmortisesSleepDelay) {
+  // Doubling the window (hops per cycle) roughly halves the sleep-delay
+  // part of the hop latency.
+  const double w = model_.min_window();
+  const double l1 = model_.hop_latency({4.0, w}, 1);
+  const double l2 = model_.hop_latency({4.0, 2.0 * w}, 1);
+  // Sleep delay dominates at T = 4 s, so the hop latency nearly halves.
+  EXPECT_LT(l2, 0.6 * l1);
+  EXPECT_GT(l2, 0.45 * l1);
+}
+
+TEST_F(SmacTest, DutyCeilingBindsAtWideWindows) {
+  // w > T/4 is infeasible.
+  EXPECT_LT(model_.feasibility_margin({0.5, 0.2}), 0.0);
+  EXPECT_GT(model_.feasibility_margin({2.0, 0.2}), 0.0);
+}
+
+TEST_F(SmacTest, CapacityBindsUnderHeavyTraffic) {
+  ModelContext heavy = ctx_;
+  heavy.fs = 0.05;
+  SmacModel jam(heavy);
+  EXPECT_LT(jam.feasibility_margin({10.0, 0.1}), 0.0);
+  EXPECT_GT(jam.feasibility_margin({1.0, 0.1}), 0.0);
+}
+
+TEST_F(SmacTest, FrontierIsTwoDimensionalButMonotone) {
+  core::AppRequirements req{.e_budget = 0.06, .l_max = 6.0};
+  core::EnergyDelayGame game(model_, req);
+  auto frontier = game.frontier(64);  // 64^2 grid
+  ASSERT_GE(frontier.size(), 10u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].f1, frontier[i - 1].f1);
+    EXPECT_LT(frontier[i].f2, frontier[i - 1].f2);
+  }
+}
+
+TEST_F(SmacTest, FrameworkSolves2DGameAndMatchesGridOracle) {
+  core::AppRequirements req{.e_budget = 0.06, .l_max = 3.0};
+  core::EnergyDelayGame game(model_, req);
+  auto p1 = game.solve_p1();
+  ASSERT_TRUE(p1.ok());
+
+  // Dense 2-D oracle for (P1).
+  double best = kInf;
+  const auto lo = model_.params().lower();
+  const auto hi = model_.params().upper();
+  for (int i = 0; i <= 400; ++i) {
+    for (int j = 0; j <= 400; ++j) {
+      std::vector<double> x{lo[0] + (hi[0] - lo[0]) * i / 400.0,
+                            lo[1] + (hi[1] - lo[1]) * j / 400.0};
+      if (!model_.feasible(x) || model_.latency(x) > req.l_max) continue;
+      best = std::min(best, model_.energy(x));
+    }
+  }
+  ASSERT_TRUE(std::isfinite(best));
+  EXPECT_LT(rel_diff(p1->energy, best), 5e-3);
+  EXPECT_LE(p1->energy, best * (1 + 1e-9));  // solver at least as good
+
+  auto outcome = game.solve();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LE(outcome->nbs.energy, req.e_budget * (1 + 1e-6));
+  EXPECT_LE(outcome->nbs.latency, req.l_max * (1 + 1e-6));
+  EXPECT_TRUE(model_.feasible(outcome->nbs.x));
+  // The agreement improves both players over the disagreement point.
+  EXPECT_LT(outcome->nbs.energy, outcome->e_worst() * (1 + 1e-9));
+  EXPECT_LT(outcome->nbs.latency, outcome->l_worst() * (1 + 1e-9));
+}
+
+TEST_F(SmacTest, OptimalWindowIsNotAlwaysMinimal) {
+  // The 2nd dimension earns its keep: under a tight delay bound the
+  // energy player prefers widening the window over shortening the cycle.
+  core::AppRequirements tight{.e_budget = 0.06, .l_max = 1.0};
+  core::EnergyDelayGame game(model_, tight);
+  auto p1 = game.solve_p1();
+  ASSERT_TRUE(p1.ok());
+  EXPECT_GT(p1->x[1], model_.min_window() * 1.05);
+}
+
+}  // namespace
+}  // namespace edb::mac

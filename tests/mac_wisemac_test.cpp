@@ -1,0 +1,77 @@
+// WiseMAC: schedule-learning preamble minimisation — the protocol's three
+// signature behaviours.
+#include "mac/wisemac.h"
+
+#include <gtest/gtest.h>
+
+#include "mac/bmac.h"
+#include "core/game_framework.h"
+
+namespace edb::mac {
+namespace {
+
+class WisemacTest : public ::testing::Test {
+ protected:
+  ModelContext ctx_;
+  WisemacModel model_{ctx_};
+};
+
+TEST_F(WisemacTest, PreambleScalesWithDriftAndLinkInterval) {
+  const std::vector<double> x{2.0};
+  // Ring 1 exchanges every 1/f_out(1) seconds; preamble = 4*theta*interval.
+  const double f_out1 = ctx_.traffic().f_out(1);
+  EXPECT_NEAR(model_.preamble_duration(x, 1), 4.0 * 30e-6 / f_out1, 1e-12);
+}
+
+TEST_F(WisemacTest, PreambleCapsAtTheSamplingPeriod) {
+  // Outer rings exchange so rarely that drift exceeds a whole period.
+  const std::vector<double> x{0.5};
+  EXPECT_DOUBLE_EQ(model_.preamble_duration(x, ctx_.ring.depth), 0.5);
+  EXPECT_LT(model_.preamble_duration(x, 1), 0.5);
+}
+
+TEST_F(WisemacTest, BusierLinksGetShorterPreambles) {
+  const std::vector<double> x{2.0};
+  // f_out falls with ring index, so the preamble grows outward.
+  double prev = 0;
+  for (int d = 1; d <= ctx_.ring.depth; ++d) {
+    const double pre = model_.preamble_duration(x, d);
+    EXPECT_GE(pre, prev) << d;
+    prev = pre;
+  }
+}
+
+TEST_F(WisemacTest, BeatsBmacOnSenderEnergyAtTheBottleneck) {
+  // Same sampling period: WiseMAC's learned preamble (~74 ms at the paper
+  // load) against B-MAC's full-length one.
+  BmacModel bmac(ctx_);
+  const std::vector<double> x{1.0};
+  EXPECT_LT(model_.power_at_ring(x, 1).tx, bmac.power_at_ring(x, 1).tx);
+}
+
+TEST_F(WisemacTest, NoSynchronisationTraffic) {
+  const auto p = model_.power_at_ring({1.0}, 1);
+  EXPECT_DOUBLE_EQ(p.stx, 0.0);
+  EXPECT_DOUBLE_EQ(p.srx, 0.0);
+}
+
+TEST_F(WisemacTest, FrameworkSolvesTheGame) {
+  core::AppRequirements req{.e_budget = 0.06, .l_max = 3.0};
+  core::EnergyDelayGame game(model_, req);
+  auto outcome = game.solve();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LE(outcome->nbs.energy, req.e_budget * (1 + 1e-6));
+  EXPECT_LE(outcome->nbs.latency, req.l_max * (1 + 1e-6));
+  EXPECT_GE(outcome->energy_gain_ratio(), -1e-6);
+  EXPECT_LE(outcome->latency_gain_ratio(), 1 + 1e-6);
+}
+
+TEST_F(WisemacTest, LowerDriftLowersEnergy) {
+  WisemacConfig tight;
+  tight.clock_drift = 5e-6;
+  WisemacModel precise(ctx_, tight);
+  EXPECT_LT(precise.energy({1.0}), model_.energy({1.0}));
+}
+
+}  // namespace
+}  // namespace edb::mac

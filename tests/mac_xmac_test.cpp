@@ -1,0 +1,137 @@
+#include "mac/xmac.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+
+namespace edb::mac {
+namespace {
+
+class XmacTest : public ::testing::Test {
+ protected:
+  ModelContext ctx_;  // paper calibration defaults
+  XmacModel model_{ctx_};
+};
+
+TEST_F(XmacTest, OneParameterWakeInterval) {
+  ASSERT_EQ(model_.params().dim(), 1u);
+  EXPECT_EQ(model_.params().info(0).name, "Tw");
+  EXPECT_DOUBLE_EQ(model_.params().info(0).lo, 0.15);
+  EXPECT_DOUBLE_EQ(model_.params().info(0).hi, 2.5);
+}
+
+TEST_F(XmacTest, EnergyBreakdownMatchesHandComputedTerms) {
+  const std::vector<double> x{0.5};
+  const auto p = model_.power_at_ring(x, 1);
+  const auto& r = ctx_.radio;
+
+  // cs: one poll (startup + CCA) per wake interval.
+  EXPECT_NEAR(p.cs, r.p_rx * r.poll_duration() / 0.5, 1e-12);
+  // No synchronisation traffic in an asynchronous protocol.
+  EXPECT_DOUBLE_EQ(p.stx, 0.0);
+  EXPECT_DOUBLE_EQ(p.srx, 0.0);
+  EXPECT_DOUBLE_EQ(p.sleep, r.p_sleep);
+  // All traffic-driven terms positive at the bottleneck.
+  EXPECT_GT(p.tx, 0.0);
+  EXPECT_GT(p.rx, 0.0);
+  EXPECT_GT(p.ovr, 0.0);
+}
+
+TEST_F(XmacTest, EnergyIsUShapedInWakeInterval) {
+  // Polling cost falls with Tw, preamble cost rises: the total is U-shaped
+  // with an interior minimum (this is what makes the Fig. 1a trade-off
+  // points saturate once Lmax stops binding).
+  const double e_lo = model_.energy({0.15});
+  const double e_mid = model_.energy({1.0});
+  const double e_hi = model_.energy({2.5});
+  EXPECT_LT(e_mid, e_lo);
+  EXPECT_LT(e_mid, e_hi);
+}
+
+TEST_F(XmacTest, LatencyStrictlyIncreasingInWakeInterval) {
+  double prev = 0;
+  for (double tw : {0.15, 0.5, 1.0, 1.5, 2.0, 2.5}) {
+    const double l = model_.latency({tw});
+    EXPECT_GT(l, prev);
+    prev = l;
+  }
+}
+
+TEST_F(XmacTest, LatencyIsHalfWakePerHopPlusHandshake) {
+  const std::vector<double> x{1.0};
+  const double per_hop = model_.hop_latency(x, 1);
+  const double handshake = model_.strobe_period() +
+                           ctx_.packet.ack_airtime(ctx_.radio) +
+                           ctx_.packet.data_airtime(ctx_.radio);
+  EXPECT_NEAR(per_hop, 0.5 + handshake, 1e-12);
+  // e2e = D identical hops, no source wait.
+  EXPECT_NEAR(model_.latency(x), ctx_.ring.depth * per_hop, 1e-12);
+  EXPECT_DOUBLE_EQ(model_.source_wait(x), 0.0);
+}
+
+TEST_F(XmacTest, BottleneckIsRingOne) {
+  const std::vector<double> x{0.5};
+  EXPECT_EQ(model_.bottleneck_ring(x), 1);
+  // Ring 1 forwards the most traffic, so it must draw the most power.
+  EXPECT_GT(model_.power_at_ring(x, 1).total(),
+            model_.power_at_ring(x, ctx_.ring.depth).total());
+}
+
+TEST_F(XmacTest, EnergyIsEpochTimesBottleneckPower) {
+  const std::vector<double> x{0.7};
+  EXPECT_NEAR(model_.energy(x),
+              model_.power_at_ring(x, 1).total() * ctx_.energy_epoch, 1e-12);
+}
+
+TEST_F(XmacTest, FeasibleAcrossTheBoxAtPaperLoad) {
+  for (double tw : {0.15, 0.5, 1.0, 2.0, 2.5}) {
+    EXPECT_GT(model_.feasibility_margin({tw}), 0.0) << "Tw=" << tw;
+  }
+}
+
+TEST_F(XmacTest, SaturatedNetworkIsInfeasible) {
+  ModelContext heavy = ctx_;
+  heavy.fs = 0.5;  // two packets per second per source: way past capacity
+  XmacModel jam(heavy);
+  EXPECT_LT(jam.feasibility_margin({2.5}), 0.0);
+}
+
+TEST_F(XmacTest, PaperCalibrationRanges) {
+  // The E range behind Fig. 1a/2a: minimum below the 0.01 J budget,
+  // left edge of the axis at Lmax = 1 s, and the delay-optimal corner
+  // under the 0.04 J saturation threshold region.
+  EXPECT_LT(model_.energy({1.0}), 0.01);
+  EXPECT_GT(model_.energy({0.15}), 0.03);
+  EXPECT_LT(model_.energy({0.15}), 0.04);
+  // Unconstrained energy optimum sits between Lmax = 2 s and 3 s, which is
+  // exactly why the paper's trade-off points coincide for Lmax >= 3 s.
+  double best_tw = 0, best_e = kInf;
+  for (double tw = 0.15; tw <= 2.5; tw += 0.001) {
+    const double e = model_.energy({tw});
+    if (e < best_e) {
+      best_e = e;
+      best_tw = tw;
+    }
+  }
+  const double l_at_min = model_.latency({best_tw});
+  EXPECT_GT(l_at_min, 2.0);
+  EXPECT_LT(l_at_min, 3.0);
+}
+
+TEST_F(XmacTest, EnergyScalesWithEpoch) {
+  ModelContext c2 = ctx_;
+  c2.energy_epoch = 200.0;
+  XmacModel doubled(c2);
+  EXPECT_NEAR(doubled.energy({0.5}), 2.0 * model_.energy({0.5}), 1e-12);
+}
+
+TEST_F(XmacTest, MoreTrafficMoreEnergySameLatency) {
+  ModelContext busy = ctx_;
+  busy.fs = ctx_.fs * 3;
+  XmacModel b(busy);
+  EXPECT_GT(b.energy({0.5}), model_.energy({0.5}));
+  EXPECT_DOUBLE_EQ(b.latency({0.5}), model_.latency({0.5}));
+}
+
+}  // namespace
+}  // namespace edb::mac

@@ -1,0 +1,81 @@
+#include "net/radio.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace edb::net {
+namespace {
+
+TEST(RadioParams, Cc2420PresetSane) {
+  const RadioParams r = RadioParams::cc2420();
+  EXPECT_TRUE(r.validate().ok());
+  EXPECT_DOUBLE_EQ(r.p_rx, 0.0564);
+  EXPECT_DOUBLE_EQ(r.p_tx, 0.0522);
+  EXPECT_DOUBLE_EQ(r.bitrate, 250e3);
+  EXPECT_LT(r.p_sleep, r.p_rx);
+}
+
+TEST(RadioParams, Cc1000PresetSane) {
+  const RadioParams r = RadioParams::cc1000();
+  EXPECT_TRUE(r.validate().ok());
+  EXPECT_GT(r.p_tx, r.p_rx);  // CC1000 TX above RX at +5 dBm
+  EXPECT_DOUBLE_EQ(r.bitrate, 19.2e3);
+}
+
+TEST(RadioParams, AirtimeLinearInBits) {
+  const RadioParams r = RadioParams::cc2420();
+  EXPECT_DOUBLE_EQ(r.airtime(250e3), 1.0);
+  EXPECT_DOUBLE_EQ(r.airtime(384), 384 / 250e3);  // 48-byte frame
+  EXPECT_DOUBLE_EQ(r.airtime(2 * 384), 2 * r.airtime(384));
+}
+
+TEST(RadioParams, PollDurationIsStartupPlusCca) {
+  const RadioParams r = RadioParams::cc2420();
+  EXPECT_DOUBLE_EQ(r.poll_duration(), r.t_startup + r.t_cca);
+  EXPECT_NEAR(r.poll_duration(), 0.8e-3, 1e-12);
+}
+
+TEST(RadioParams, ValidateRejectsBadValues) {
+  RadioParams r = RadioParams::cc2420();
+  r.bitrate = 0;
+  EXPECT_FALSE(r.validate().ok());
+
+  r = RadioParams::cc2420();
+  r.p_sleep = r.p_rx;  // sleep must be cheaper than active
+  EXPECT_FALSE(r.validate().ok());
+
+  r = RadioParams::cc2420();
+  r.p_tx = -1;
+  EXPECT_FALSE(r.validate().ok());
+
+  r = RadioParams::cc2420();
+  r.t_startup = -1e-3;
+  EXPECT_FALSE(r.validate().ok());
+}
+
+TEST(PacketFormat, DefaultAirtimes) {
+  const RadioParams r = RadioParams::cc2420();
+  const PacketFormat p = PacketFormat::default_wsn();
+  EXPECT_TRUE(p.validate().ok());
+  EXPECT_DOUBLE_EQ(p.data_bits(), (32 + 16) * 8.0);
+  EXPECT_NEAR(p.data_airtime(r), 1.536e-3, 1e-9);
+  EXPECT_NEAR(p.ack_airtime(r), 0.32e-3, 1e-9);
+  EXPECT_NEAR(p.strobe_airtime(r), 0.32e-3, 1e-9);
+  EXPECT_NEAR(p.ctrl_airtime(r), 0.384e-3, 1e-9);
+}
+
+TEST(PacketFormat, ValidateRejectsBadSizes) {
+  PacketFormat p;
+  p.header_bytes = 0;
+  EXPECT_FALSE(p.validate().ok());
+  p = PacketFormat{};
+  p.ack_bytes = 0;
+  EXPECT_FALSE(p.validate().ok());
+  p = PacketFormat{};
+  p.payload_bytes = -1;
+  EXPECT_FALSE(p.validate().ok());
+}
+
+}  // namespace
+}  // namespace edb::net

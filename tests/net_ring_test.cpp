@@ -1,0 +1,96 @@
+#include "net/ring.h"
+
+#include <gtest/gtest.h>
+
+namespace edb::net {
+namespace {
+
+TEST(RingTopology, PopulationsFollowAnnulusAreas) {
+  RingTopology t{.depth = 5, .density = 7};
+  ASSERT_TRUE(t.validate().ok());
+  EXPECT_DOUBLE_EQ(t.nodes_in_ring(1), 8.0);    // (C+1)*(2*1-1)
+  EXPECT_DOUBLE_EQ(t.nodes_in_ring(2), 24.0);
+  EXPECT_DOUBLE_EQ(t.nodes_in_ring(5), 72.0);
+  EXPECT_DOUBLE_EQ(t.total_nodes(), 200.0);     // (C+1)*D^2
+}
+
+TEST(RingTopology, PopulationsSumToTotal) {
+  RingTopology t{.depth = 7, .density = 4};
+  double sum = 0;
+  for (int d = 1; d <= t.depth; ++d) sum += t.nodes_in_ring(d);
+  EXPECT_DOUBLE_EQ(sum, t.total_nodes());
+}
+
+TEST(RingTopology, ChildrenMatchPopulationRatios) {
+  RingTopology t{.depth = 3, .density = 5};
+  EXPECT_DOUBLE_EQ(t.children(1), 3.0);        // 3/1
+  EXPECT_DOUBLE_EQ(t.children(2), 5.0 / 3.0);  // 5/3
+  EXPECT_DOUBLE_EQ(t.children(3), 0.0);        // outer ring
+}
+
+TEST(RingTopology, ValidateRejectsDegenerate) {
+  EXPECT_FALSE((RingTopology{.depth = 0, .density = 5}).validate().ok());
+  EXPECT_FALSE((RingTopology{.depth = 3, .density = 0.5}).validate().ok());
+  EXPECT_TRUE((RingTopology{.depth = 1, .density = 1}).validate().ok());
+}
+
+TEST(RingTraffic, ForwardedLoadFunnelsInward) {
+  RingTopology t{.depth = 5, .density = 7};
+  RingTraffic tr(t, /*fs=*/0.01);
+  // f_out(d) = fs * (D^2 - (d-1)^2) / (2d - 1)
+  EXPECT_DOUBLE_EQ(tr.f_out(1), 0.01 * 25.0);
+  EXPECT_DOUBLE_EQ(tr.f_out(2), 0.01 * 24.0 / 3.0);
+  EXPECT_DOUBLE_EQ(tr.f_out(5), 0.01 * 9.0 / 9.0);
+  // Strictly decreasing toward the edge.
+  for (int d = 2; d <= 5; ++d) EXPECT_LT(tr.f_out(d), tr.f_out(d - 1));
+}
+
+TEST(RingTraffic, OuterRingOnlySendsItsOwnSamples) {
+  RingTopology t{.depth = 4, .density = 3};
+  RingTraffic tr(t, 0.02);
+  EXPECT_DOUBLE_EQ(tr.f_out(t.depth), 0.02);
+  EXPECT_DOUBLE_EQ(tr.f_in(t.depth), 0.0);
+}
+
+TEST(RingTraffic, InputIsOutputMinusOwnSamples) {
+  RingTopology t{.depth = 5, .density = 7};
+  RingTraffic tr(t, 0.01);
+  for (int d = 1; d <= t.depth; ++d) {
+    EXPECT_DOUBLE_EQ(tr.f_in(d), tr.f_out(d) - 0.01);
+    EXPECT_GE(tr.f_in(d), 0.0);
+  }
+}
+
+TEST(RingTraffic, FlowConservationAcrossRings) {
+  // Total flow out of ring d equals total flow out of ring d+1 plus ring
+  // d's own samples: N_d * f_out(d) = N_{d+1} * f_out(d+1) + N_d * fs.
+  RingTopology t{.depth = 6, .density = 5};
+  RingTraffic tr(t, 0.03);
+  for (int d = 1; d < t.depth; ++d) {
+    const double lhs = t.nodes_in_ring(d) * tr.f_out(d);
+    const double rhs =
+        t.nodes_in_ring(d + 1) * tr.f_out(d + 1) + t.nodes_in_ring(d) * 0.03;
+    EXPECT_NEAR(lhs, rhs, 1e-9);
+  }
+}
+
+TEST(RingTraffic, SinkLoadIsTotalGeneration) {
+  RingTopology t{.depth = 5, .density = 7};
+  RingTraffic tr(t, 0.01);
+  EXPECT_DOUBLE_EQ(tr.sink_load(), 200 * 0.01);
+  // Which must equal what ring 1 collectively forwards.
+  EXPECT_NEAR(tr.sink_load(), t.nodes_in_ring(1) * tr.f_out(1), 1e-9);
+}
+
+TEST(RingTraffic, BackgroundTrafficNonNegativeAndScalesWithDensity) {
+  RingTopology lo{.depth = 4, .density = 2};
+  RingTopology hi{.depth = 4, .density = 10};
+  RingTraffic tlo(lo, 0.01), thi(hi, 0.01);
+  for (int d = 1; d <= 4; ++d) {
+    EXPECT_GE(tlo.f_bg(d), 0.0);
+    EXPECT_GT(thi.f_bg(d), tlo.f_bg(d));
+  }
+}
+
+}  // namespace
+}  // namespace edb::net

@@ -1,0 +1,64 @@
+#include "net/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/math.h"
+
+namespace edb::net {
+namespace {
+
+TEST(TrafficModel, PeriodIsInverseRate) {
+  TrafficModel m{.fs = 0.01, .jitter_frac = 0.1};
+  EXPECT_DOUBLE_EQ(m.period(), 100.0);
+}
+
+TEST(TrafficModel, ValidateRejectsBadConfig) {
+  EXPECT_FALSE((TrafficModel{.fs = 0.0, .jitter_frac = 0.1}).validate().ok());
+  EXPECT_FALSE((TrafficModel{.fs = 0.01, .jitter_frac = 1.0}).validate().ok());
+  EXPECT_FALSE(
+      (TrafficModel{.fs = 0.01, .jitter_frac = -0.1}).validate().ok());
+  EXPECT_TRUE((TrafficModel{.fs = 0.01, .jitter_frac = 0.0}).validate().ok());
+}
+
+TEST(TrafficModel, InitialPhaseWithinPeriod) {
+  TrafficModel m{.fs = 0.1, .jitter_frac = 0.1};
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double p = m.initial_phase(rng);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, m.period());
+  }
+}
+
+TEST(TrafficModel, JitteredPeriodsStayWithinBand) {
+  TrafficModel m{.fs = 0.1, .jitter_frac = 0.2};
+  Rng rng(5);
+  double nominal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double next = m.next_generation_time(nominal, rng);
+    const double gap = next - nominal;
+    EXPECT_GE(gap, m.period() * 0.8 - 1e-12);
+    EXPECT_LE(gap, m.period() * 1.2 + 1e-12);
+    nominal = next;
+  }
+}
+
+TEST(TrafficModel, LongRunRateMatchesFs) {
+  TrafficModel m{.fs = 0.1, .jitter_frac = 0.15};
+  Rng rng(7);
+  double t = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) t = m.next_generation_time(t, rng);
+  EXPECT_NEAR(n / t, 0.1, 0.002);
+}
+
+TEST(TrafficModel, ZeroJitterIsExactlyPeriodic) {
+  TrafficModel m{.fs = 0.05, .jitter_frac = 0.0};
+  Rng rng(9);
+  EXPECT_DOUBLE_EQ(m.next_generation_time(40.0, rng), 60.0);
+}
+
+}  // namespace
+}  // namespace edb::net

@@ -1,0 +1,57 @@
+#include "opt/bisect.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edb::opt {
+namespace {
+
+TEST(Bisect, LinearRoot) {
+  auto r = bisect_root([](double x) { return x - 2.5; }, 0.0, 10.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 2.5, 1e-10);
+}
+
+TEST(Bisect, DecreasingFunction) {
+  auto r = bisect_root([](double x) { return 1.0 - x * x; }, 0.0, 10.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-10);
+}
+
+TEST(Bisect, RootAtBoundaryLo) {
+  auto r = bisect_root([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.0);
+}
+
+TEST(Bisect, RootAtBoundaryHi) {
+  auto r = bisect_root([](double x) { return x - 1.0; }, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+}
+
+TEST(Bisect, NotBracketedIsAnError) {
+  auto r = bisect_root([](double x) { return x + 10.0; }, 0.0, 1.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Bisect, TranscendentalRoot) {
+  auto r = bisect_root([](double x) { return std::cos(x); }, 0.0, 3.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, M_PI / 2.0, 1e-10);
+}
+
+TEST(Bisect, SolvesLatencyBoundForConstraintPlacement) {
+  // The framework's canonical use: find Tw with L(Tw) = Lmax for a
+  // monotone latency L(Tw) = 5 * (Tw/2 + 0.002).
+  const double lmax = 3.0;
+  auto r = bisect_root(
+      [&](double tw) { return 5.0 * (0.5 * tw + 0.002) - lmax; }, 0.01, 5.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(5.0 * (0.5 * *r + 0.002), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace edb::opt

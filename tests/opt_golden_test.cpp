@@ -1,0 +1,59 @@
+#include "opt/golden.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edb::opt {
+namespace {
+
+TEST(GoldenSection, QuadraticMinimum) {
+  auto r = golden_section_min([](double x) { return (x - 3.0) * (x - 3.0); },
+                              0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 3.0, 1e-8);
+  EXPECT_NEAR(r.value, 0.0, 1e-15);
+}
+
+TEST(GoldenSection, MinimumAtLeftBoundary) {
+  auto r = golden_section_min([](double x) { return x; }, 2.0, 5.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-7);
+}
+
+TEST(GoldenSection, MinimumAtRightBoundary) {
+  auto r = golden_section_min([](double x) { return -x; }, 2.0, 5.0);
+  EXPECT_NEAR(r.x, 5.0, 1e-7);
+}
+
+TEST(GoldenSection, HyperbolaPlusLinear) {
+  // f(x) = 1/x + x has its minimum at x = 1 (the X-MAC energy shape).
+  auto r = golden_section_min([](double x) { return 1.0 / x + x; }, 0.01,
+                              100.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-6);
+  EXPECT_NEAR(r.value, 2.0, 1e-12);
+}
+
+TEST(GoldenSection, NonSmoothVee) {
+  auto r = golden_section_min([](double x) { return std::abs(x - 0.7); },
+                              0.0, 1.0);
+  EXPECT_NEAR(r.x, 0.7, 1e-8);
+}
+
+TEST(GoldenSection, RespectsIterationBudget) {
+  GoldenOptions opts;
+  opts.max_iterations = 5;
+  opts.x_tol = 1e-15;
+  auto r = golden_section_min([](double x) { return x * x; }, -1.0, 1.0,
+                              opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.evaluations, 7);  // 2 initial + 5 iterations
+}
+
+TEST(GoldenSection, EvaluationCountIsLogarithmic) {
+  auto r = golden_section_min([](double x) { return x * x; }, -1e6, 1e6);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.evaluations, 120);
+}
+
+}  // namespace
+}  // namespace edb::opt

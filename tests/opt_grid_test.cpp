@@ -1,0 +1,85 @@
+#include "opt/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edb::opt {
+namespace {
+
+TEST(GridMin, Quadratic1D) {
+  Box box({0.0}, {10.0});
+  auto r = grid_min([](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  }, box, 101);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 0.1);
+  EXPECT_EQ(r.evaluations, 101);
+}
+
+TEST(GridMin, Rosenbrock2DFindsValleyRegion) {
+  Box box({-2.0, -2.0}, {2.0, 2.0});
+  auto r = grid_min([](const std::vector<double>& x) {
+    const double a = 1 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100 * b * b;
+  }, box, 41);
+  EXPECT_EQ(r.evaluations, 41 * 41);
+  EXPECT_LT(r.value, 1.0);
+}
+
+TEST(GridRefine, ConvergesToMachinePrecisionOnSmooth1D) {
+  Box box({0.0}, {10.0});
+  auto r = grid_refine_min([](const std::vector<double>& x) {
+    return (x[0] - 3.14159) * (x[0] - 3.14159);
+  }, box, {.points_per_dim = 33, .rounds = 10, .zoom = 0.2});
+  EXPECT_NEAR(r.x[0], 3.14159, 1e-6);
+}
+
+TEST(GridRefine, Converges2D) {
+  Box box({-5.0, -5.0}, {5.0, 5.0});
+  auto r = grid_refine_min([](const std::vector<double>& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
+  }, box, {.points_per_dim = 17, .rounds = 12, .zoom = 0.25});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-5);
+}
+
+TEST(GridRefine, EscapesLocalMinimumVisibleAtGridResolution) {
+  // Two wells: a shallow one at 0.2 and a deep one at 0.8.
+  auto f = [](const std::vector<double>& x) {
+    const double d1 = x[0] - 0.2;
+    const double d2 = x[0] - 0.8;
+    return std::min(0.5 + 50 * d1 * d1, 100 * d2 * d2);
+  };
+  Box box({0.0}, {1.0});
+  auto r = grid_refine_min(f, box, {.points_per_dim = 33, .rounds = 8,
+                                    .zoom = 0.2});
+  EXPECT_NEAR(r.x[0], 0.8, 1e-6);
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+}
+
+TEST(GridRefine, HandlesInfiniteRegionsAsFences) {
+  // Infeasible fence: +inf left of 0.5; minimum at the fence edge.
+  auto f = [](const std::vector<double>& x) {
+    if (x[0] < 0.5) return std::numeric_limits<double>::infinity();
+    return x[0];
+  };
+  Box box({0.0}, {1.0});
+  auto r = grid_refine_min(f, box, {.points_per_dim = 65, .rounds = 8,
+                                    .zoom = 0.2});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 0.5, 1e-3);
+}
+
+TEST(GridMin, MinimumAtBoxCorner) {
+  Box box({0.0, 0.0}, {1.0, 1.0});
+  auto r = grid_min([](const std::vector<double>& x) {
+    return -(x[0] + x[1]);
+  }, box, 11);
+  EXPECT_DOUBLE_EQ(r.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.x[1], 1.0);
+}
+
+}  // namespace
+}  // namespace edb::opt

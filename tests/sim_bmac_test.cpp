@@ -1,0 +1,124 @@
+// Behavioural B-MAC: long-preamble delivery and the overhearing cost the
+// protocol is famous for (and that X-MAC's strobes eliminate).
+#include "sim/bmac_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "sim/simulation.h"
+#include "sim/xmac_sim.h"
+
+namespace edb::sim {
+namespace {
+
+MacFactory bmac_factory(double tw) {
+  return [tw](MacEnv env) {
+    return std::make_unique<BmacSim>(std::move(env),
+                                     BmacSimParams{.tw = tw});
+  };
+}
+
+SimulationConfig fast_config(double duration, std::uint64_t seed = 1) {
+  SimulationConfig cfg;
+  cfg.traffic.fs = 0.02;
+  cfg.duration = duration;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(BmacSim, DeliversOverOneHop) {
+  Simulation sim(fast_config(500));
+  build_chain(sim, 1);
+  sim.finalize(bmac_factory(0.2));
+  sim.run();
+  EXPECT_GT(sim.metrics().generated(), 5u);
+  EXPECT_GE(sim.metrics().delivery_ratio(), 0.99);
+}
+
+TEST(BmacSim, DeliversOverFourHops) {
+  Simulation sim(fast_config(1500, 7));
+  build_chain(sim, 4);
+  sim.finalize(bmac_factory(0.2));
+  sim.run();
+  EXPECT_GT(sim.metrics().generated(), 50u);
+  EXPECT_GE(sim.metrics().delivery_ratio(), 0.95);
+}
+
+TEST(BmacSim, DelayIsFullPreamblePerHop) {
+  // Unlike X-MAC's expected Tw/2, B-MAC pays the whole preamble per hop.
+  const double tw = 0.25;
+  Simulation sim(fast_config(2000, 3));
+  build_chain(sim, 3);
+  sim.finalize(bmac_factory(tw));
+  sim.run();
+  const double measured = sim.metrics().mean_delay_from_depth(3);
+  const double predicted = 3 * tw;  // + small airtimes
+  EXPECT_GT(measured, predicted * 0.9);
+  EXPECT_LT(measured, predicted * 1.5);
+}
+
+TEST(BmacSim, SenderPaysTheWholePreamble) {
+  // One packet costs the sender ~tw of TX time.
+  SimulationConfig cfg = fast_config(1000, 9);
+  cfg.traffic.fs = 0.01;
+  Simulation sim(cfg);
+  build_chain(sim, 1);
+  sim.finalize(bmac_factory(0.3));
+  sim.run();
+  const auto sent = sim.node(1).mac().packets_sent();
+  ASSERT_GT(sent, 0u);
+  const double tx_seconds = sim.node(1).radio().seconds_in(RadioState::kTx);
+  EXPECT_NEAR(tx_seconds, sent * 0.3, sent * 0.3 * 0.1);
+}
+
+TEST(BmacSim, ThirdPartiesOverhearWhereXmacSleeps) {
+  // Chain 0-1-2 plus traffic only from node 2 to the sink.  Node 1 relays;
+  // node 0's and node 2's *neighbour* exposure is identical in both
+  // protocols, so compare the relay's listen time: under B-MAC every
+  // preamble pins all polls in range; under X-MAC a foreign strobe releases
+  // them.  Compare the sink's listen time for the leg it only overhears.
+  auto sink_listen = [](const MacFactory& factory) {
+    SimulationConfig cfg;
+    cfg.traffic.fs = 0.02;
+    cfg.duration = 2000;
+    cfg.seed = 11;
+    Simulation sim(cfg);
+    build_chain(sim, 2);
+    sim.finalize(factory);
+    sim.run();
+    // Leg 2 -> 1 is overheard by the sink (node 0) in this layout only
+    // under long preambles (node 0 is in range of node 1, the receiver and
+    // future sender).  Total listen time captures that exposure.
+    return sim.node(0).radio().seconds_in(RadioState::kListen);
+  };
+  const double bmac_listen = sink_listen(bmac_factory(0.2));
+  const double xmac_listen = sink_listen([](MacEnv env) {
+    return std::make_unique<XmacSim>(std::move(env),
+                                     XmacSimParams{.tw = 0.2});
+  });
+  EXPECT_GT(bmac_listen, 1.5 * xmac_listen);
+}
+
+TEST(BmacSim, IdlePollingCostMatchesXmac) {
+  // Without traffic the two LPL protocols poll identically.
+  auto idle_energy = [](const MacFactory& factory) {
+    SimulationConfig cfg;
+    cfg.traffic.fs = 1e-9;
+    cfg.duration = 2000;
+    cfg.seed = 13;
+    Simulation sim(cfg);
+    build_chain(sim, 1);
+    sim.finalize(factory);
+    sim.run();
+    return sim.node_energy(1);
+  };
+  const double bmac = idle_energy(bmac_factory(0.5));
+  const double xmac = idle_energy([](MacEnv env) {
+    return std::make_unique<XmacSim>(std::move(env),
+                                     XmacSimParams{.tw = 0.5});
+  });
+  EXPECT_NEAR(bmac, xmac, 0.05 * xmac);
+}
+
+}  // namespace
+}  // namespace edb::sim

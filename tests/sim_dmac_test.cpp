@@ -1,0 +1,128 @@
+// Behavioural DMAC: staggered cascade, slot discipline, duty cycling.
+#include "sim/dmac_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "sim/simulation.h"
+
+namespace edb::sim {
+namespace {
+
+MacFactory dmac_factory(double t_cycle, int max_depth) {
+  return [=](MacEnv env) {
+    return std::make_unique<DmacSim>(
+        std::move(env),
+        DmacSimParams{.t_cycle = t_cycle, .max_depth = max_depth});
+  };
+}
+
+SimulationConfig fast_config(double duration, std::uint64_t seed = 1) {
+  SimulationConfig cfg;
+  cfg.traffic.fs = 0.02;
+  cfg.duration = duration;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(DmacSim, DeliversOverOneHop) {
+  Simulation sim(fast_config(500));
+  build_chain(sim, 1);
+  sim.finalize(dmac_factory(1.0, 1));
+  sim.run();
+  EXPECT_GT(sim.metrics().generated(), 5u);
+  EXPECT_GE(sim.metrics().delivery_ratio(), 0.99);
+}
+
+TEST(DmacSim, DeliversOverFiveHops) {
+  Simulation sim(fast_config(2000, 7));
+  build_chain(sim, 5);
+  sim.finalize(dmac_factory(2.0, 5));
+  sim.run();
+  EXPECT_GT(sim.metrics().generated(), 100u);
+  EXPECT_GE(sim.metrics().delivery_ratio(), 0.95);
+}
+
+TEST(DmacSim, PacketCascadesWithinOneCycle) {
+  // The staggered schedule forwards a packet one slot per hop: e2e delay
+  // is the wait for the source's tx slot (<= T) plus D slots, so the mean
+  // must sit near T/2 + D*mu, far below the naive D*T.
+  const double t_cycle = 2.0;
+  Simulation sim(fast_config(4000, 3));
+  build_chain(sim, 4);
+  sim.finalize(dmac_factory(t_cycle, 4));
+  sim.run();
+  const double measured = sim.metrics().mean_delay_from_depth(4);
+  DmacSimParams ref{.t_cycle = t_cycle, .max_depth = 4};
+  // mu ~ 9.5 ms with default packets.
+  const double predicted = t_cycle / 2 + 4 * 0.0095;
+  EXPECT_GT(measured, predicted * 0.5);
+  EXPECT_LT(measured, predicted * 1.5);
+  EXPECT_LT(measured, 2.0 * t_cycle);  // decisively below D*T
+}
+
+TEST(DmacSim, DutyCycleMatchesTwoSlotsPerCycle) {
+  // Idle network: every node holds rx + tx slots open each cycle.
+  SimulationConfig cfg = fast_config(2000);
+  cfg.traffic.fs = 1e-9;
+  Simulation sim(cfg);
+  build_chain(sim, 2);
+  sim.finalize(dmac_factory(1.0, 2));
+  sim.run();
+  DmacSim& mac = static_cast<DmacSim&>(sim.node(1).mac());
+  const double expected = 2.0 * mac.slot_width() / 1.0 * cfg.duration;
+  EXPECT_NEAR(sim.node(1).radio().seconds_in(RadioState::kListen), expected,
+              expected * 0.1);
+}
+
+TEST(DmacSim, SinkHoldsOnlyTheReceiveSlot) {
+  SimulationConfig cfg = fast_config(2000);
+  cfg.traffic.fs = 1e-9;
+  Simulation sim(cfg);
+  build_chain(sim, 1);
+  sim.finalize(dmac_factory(1.0, 1));
+  sim.run();
+  DmacSim& mac = static_cast<DmacSim&>(sim.node(0).mac());
+  const double expected = mac.slot_width() / 1.0 * cfg.duration;
+  EXPECT_NEAR(sim.node(0).radio().seconds_in(RadioState::kListen), expected,
+              expected * 0.1);
+}
+
+TEST(DmacSim, StaggeredOffsetsFollowDepth) {
+  SimulationConfig cfg = fast_config(10);
+  Simulation sim(cfg);
+  build_chain(sim, 3);
+  sim.finalize(dmac_factory(1.0, 3));
+  DmacSim& leaf = static_cast<DmacSim&>(sim.node(3).mac());
+  DmacSim& mid = static_cast<DmacSim&>(sim.node(2).mac());
+  // Deeper nodes wake earlier in the cycle; the leaf's tx slot is exactly
+  // its parent's rx slot.
+  EXPECT_LT(leaf.rx_offset(), mid.rx_offset());
+  EXPECT_DOUBLE_EQ(leaf.tx_offset(), mid.rx_offset());
+}
+
+TEST(DmacSim, LongerCycleCutsIdleEnergy) {
+  auto idle_power = [](double t_cycle) {
+    SimulationConfig cfg = fast_config(3000);
+    cfg.traffic.fs = 1e-9;
+    Simulation sim(cfg);
+    build_chain(sim, 1);
+    sim.finalize(dmac_factory(t_cycle, 1));
+    sim.run();
+    return sim.node_energy(1) / cfg.duration;
+  };
+  EXPECT_LT(idle_power(4.0), 0.5 * idle_power(1.0));
+}
+
+TEST(DmacSim, NoDropsAtModerateLoad) {
+  Simulation sim(fast_config(1000, 23));
+  build_chain(sim, 3);
+  sim.finalize(dmac_factory(1.0, 3));
+  sim.run();
+  for (int id = 1; id <= 3; ++id) {
+    EXPECT_EQ(sim.node(id).mac().packets_dropped(), 0u) << id;
+  }
+}
+
+}  // namespace
+}  // namespace edb::sim

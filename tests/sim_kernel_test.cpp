@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/radio_sm.h"
+#include "sim/scheduler.h"
+
+namespace edb::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 10.0);
+}
+
+TEST(Scheduler, SimultaneousEventsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(1.0, [&, i] { order.push_back(i); });
+  }
+  s.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, RunUntilStopsBeforeLaterEvents) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(5.0, [&] { ++fired; });
+  s.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  s.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, NowAdvancesToEventTimeDuringCallback) {
+  Scheduler s;
+  double observed = -1;
+  s.schedule_at(4.25, [&] { observed = s.now(); });
+  s.run_until(10.0);
+  EXPECT_DOUBLE_EQ(observed, 4.25);
+}
+
+TEST(Scheduler, EventsScheduledFromCallbacksRun) {
+  Scheduler s;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 5) s.schedule_in(1.0, tick);
+  };
+  s.schedule_at(0.0, tick);
+  s.run_until(100.0);
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Scheduler, CancelledEventsDoNotFire) {
+  Scheduler s;
+  int fired = 0;
+  EventHandle h = s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  h.cancel();
+  s.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler s;
+  int fired = 0;
+  EventHandle h = s.schedule_at(1.0, [&] { ++fired; });
+  s.run_until(2.0);
+  h.cancel();  // must not crash or corrupt
+  s.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, PendingReflectsLifecycle) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(h.pending());
+  s.run_until(2.0);
+  EXPECT_FALSE(h.pending());
+  EventHandle h2 = s.schedule_at(5.0, [] {});
+  h2.cancel();
+  EXPECT_FALSE(h2.pending());
+}
+
+TEST(Radio, AccumulatesPerStateTime) {
+  Radio r(net::RadioParams::cc2420());
+  r.set_state(RadioState::kListen, 1.0);   // slept [0, 1)
+  r.set_state(RadioState::kTx, 3.0);       // listened [1, 3)
+  r.set_state(RadioState::kSleep, 3.5);    // transmitted [3, 3.5)
+  r.finalize(10.0);                        // slept [3.5, 10)
+  EXPECT_DOUBLE_EQ(r.seconds_in(RadioState::kSleep), 7.5);
+  EXPECT_DOUBLE_EQ(r.seconds_in(RadioState::kListen), 2.0);
+  EXPECT_DOUBLE_EQ(r.seconds_in(RadioState::kTx), 0.5);
+}
+
+TEST(Radio, EnergyMatchesPowerTimesTime) {
+  const auto params = net::RadioParams::cc2420();
+  Radio r(params);
+  r.set_state(RadioState::kListen, 0.0);
+  r.set_state(RadioState::kSleep, 2.0);
+  r.finalize(4.0);
+  EXPECT_NEAR(r.energy(),
+              2.0 * params.p_rx + 2.0 * params.p_sleep, 1e-12);
+  EXPECT_NEAR(r.energy_in(RadioState::kListen), 2.0 * params.p_rx, 1e-12);
+}
+
+TEST(Radio, TimeConservation) {
+  // Total metered time equals the finalise horizon regardless of the
+  // transition pattern.
+  Radio r(net::RadioParams::cc2420());
+  double t = 0;
+  const RadioState states[] = {RadioState::kListen, RadioState::kTx,
+                               RadioState::kSleep};
+  for (int i = 0; i < 30; ++i) {
+    t += 0.1 * (i % 3 + 1);
+    r.set_state(states[i % 3], t);
+  }
+  r.finalize(t + 1.0);
+  const double total = r.seconds_in(RadioState::kSleep) +
+                       r.seconds_in(RadioState::kListen) +
+                       r.seconds_in(RadioState::kTx);
+  EXPECT_NEAR(total, t + 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace edb::sim

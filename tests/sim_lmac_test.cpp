@@ -1,0 +1,138 @@
+// Behavioural LMAC: TDMA slot ownership, CM-gated data, collision freedom.
+#include "sim/lmac_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "sim/simulation.h"
+
+namespace edb::sim {
+namespace {
+
+MacFactory lmac_factory(double t_slot, int n_slots) {
+  return [=](MacEnv env) {
+    return std::make_unique<LmacSim>(
+        std::move(env), LmacSimParams{.t_slot = t_slot, .n_slots = n_slots});
+  };
+}
+
+SimulationConfig fast_config(double duration, std::uint64_t seed = 1) {
+  SimulationConfig cfg;
+  cfg.traffic.fs = 0.02;
+  cfg.duration = duration;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(LmacSim, DeliversOverOneHop) {
+  Simulation sim(fast_config(500));
+  build_chain(sim, 1);
+  sim.assign_lmac_slots(8);
+  sim.finalize(lmac_factory(0.05, 8));
+  sim.run();
+  EXPECT_GT(sim.metrics().generated(), 5u);
+  EXPECT_GE(sim.metrics().delivery_ratio(), 0.99);
+}
+
+TEST(LmacSim, DeliversOverFiveHops) {
+  Simulation sim(fast_config(2000, 7));
+  build_chain(sim, 5);
+  sim.assign_lmac_slots(8);
+  sim.finalize(lmac_factory(0.05, 8));
+  sim.run();
+  EXPECT_GT(sim.metrics().generated(), 100u);
+  EXPECT_GE(sim.metrics().delivery_ratio(), 0.98);
+}
+
+TEST(LmacSim, SlotAssignmentIsTwoHopCollisionFree) {
+  Simulation sim(fast_config(10));
+  build_chain(sim, 5);
+  sim.assign_lmac_slots(8);
+  // Chain: 1-hop and 2-hop neighbours must own distinct slots.
+  for (int id = 0; id <= 5; ++id) {
+    for (int other = id + 1; other <= std::min(5, id + 2); ++other) {
+      EXPECT_NE(sim.node(id).info().lmac_slot,
+                sim.node(other).info().lmac_slot)
+          << id << " vs " << other;
+    }
+  }
+  sim.finalize(lmac_factory(0.05, 8));
+}
+
+TEST(LmacSim, NoCollisionsEver) {
+  Simulation sim(fast_config(2000, 11));
+  build_chain(sim, 4);
+  sim.assign_lmac_slots(8);
+  sim.finalize(lmac_factory(0.05, 8));
+  sim.run();
+  EXPECT_EQ(sim.channel().collisions(), 0u);
+}
+
+TEST(LmacSim, MeanDelayNearHalfFramePerHop) {
+  const double t_slot = 0.05;
+  const int n = 8;
+  Simulation sim(fast_config(3000, 3));
+  build_chain(sim, 3);
+  sim.assign_lmac_slots(n);
+  sim.finalize(lmac_factory(t_slot, n));
+  sim.run();
+  const double measured = sim.metrics().mean_delay_from_depth(3);
+  // Analytic: D * (n/2 + 1) * t_slot.  On a fixed slot layout the actual
+  // inter-slot gaps are deterministic, so allow a factor-2 band.
+  const double predicted = 3 * (n / 2.0 + 1.0) * t_slot;
+  EXPECT_GT(measured, predicted * 0.3);
+  EXPECT_LT(measured, predicted * 2.0);
+}
+
+TEST(LmacSim, IdleDutyCycleTracksControlSections) {
+  // Idle network: per frame a node listens n-1 CMs (plus startups) and
+  // transmits its own CM.
+  SimulationConfig cfg = fast_config(1000);
+  cfg.traffic.fs = 1e-9;
+  Simulation sim(cfg);
+  build_chain(sim, 1);
+  sim.assign_lmac_slots(8);
+  sim.finalize(lmac_factory(0.05, 8));
+  sim.run();
+  const auto& radio = sim.node(1).radio();
+  const double frame = 8 * 0.05;
+  const double t_cm = cfg.packet.ctrl_airtime(cfg.radio);
+  const double frames = cfg.duration / frame;
+  // Listen: 7 slots * (startup + CM + small timeout margin) per frame,
+  // plus its own slot's startup warm-up.
+  const double listen_lo = frames * 7 * (cfg.radio.t_startup + t_cm);
+  const double listen_hi = listen_lo * 1.6;
+  EXPECT_GT(radio.seconds_in(RadioState::kListen), listen_lo * 0.9);
+  EXPECT_LT(radio.seconds_in(RadioState::kListen), listen_hi);
+  // TX: one CM per frame.
+  EXPECT_NEAR(radio.seconds_in(RadioState::kTx), frames * t_cm,
+              frames * t_cm * 0.1);
+}
+
+TEST(LmacSim, WiderSlotsCutIdleEnergy) {
+  auto idle_power = [](double t_slot) {
+    SimulationConfig cfg = fast_config(1000);
+    cfg.traffic.fs = 1e-9;
+    Simulation sim(cfg);
+    build_chain(sim, 1);
+    sim.assign_lmac_slots(8);
+    sim.finalize(lmac_factory(t_slot, 8));
+    sim.run();
+    return sim.node_energy(1) / cfg.duration;
+  };
+  EXPECT_LT(idle_power(0.2), 0.5 * idle_power(0.05));
+}
+
+TEST(LmacSim, UnownedSlotsAreHarmless) {
+  // n_slots far above the node count: listeners time out on empty slots
+  // and the protocol still works.
+  Simulation sim(fast_config(1500, 5));
+  build_chain(sim, 2);
+  sim.assign_lmac_slots(32);
+  sim.finalize(lmac_factory(0.02, 32));
+  sim.run();
+  EXPECT_GE(sim.metrics().delivery_ratio(), 0.98);
+}
+
+}  // namespace
+}  // namespace edb::sim

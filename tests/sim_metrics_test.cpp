@@ -1,0 +1,73 @@
+// Metrics unit tests: delivery accounting and delay statistics.
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edb::sim {
+namespace {
+
+Packet make_packet(std::uint64_t uid, int origin, double t) {
+  Packet p;
+  p.uid = uid;
+  p.origin = origin;
+  p.generated_at = t;
+  return p;
+}
+
+TEST(Metrics, DeliveryRatioTracksCounts) {
+  Metrics m;
+  EXPECT_TRUE(std::isnan(m.delivery_ratio()));
+  for (int i = 0; i < 4; ++i) {
+    m.record_generated(make_packet(i, 1, i * 10.0), 1);
+  }
+  m.record_delivered(make_packet(0, 1, 0.0), 1.0);
+  m.record_delivered(make_packet(1, 1, 10.0), 11.5);
+  m.record_delivered(make_packet(2, 1, 20.0), 23.0);
+  EXPECT_EQ(m.generated(), 4u);
+  EXPECT_EQ(m.delivered(), 3u);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.75);
+}
+
+TEST(Metrics, E2eDelayPerRecord) {
+  Metrics m;
+  m.record_generated(make_packet(1, 5, 100.0), 2);
+  m.record_delivered(make_packet(1, 5, 100.0), 103.25);
+  ASSERT_EQ(m.records().size(), 1u);
+  EXPECT_DOUBLE_EQ(m.records()[0].e2e_delay(), 3.25);
+}
+
+TEST(Metrics, PerDepthDelaysAreSeparated) {
+  Metrics m;
+  m.record_generated(make_packet(1, 10, 0.0), 1);
+  m.record_generated(make_packet(2, 20, 0.0), 3);
+  m.record_delivered(make_packet(1, 10, 0.0), 1.0);
+  m.record_delivered(make_packet(2, 20, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(m.mean_delay_from_depth(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_delay_from_depth(3), 5.0);
+  EXPECT_TRUE(std::isnan(m.mean_delay_from_depth(2)));
+  EXPECT_DOUBLE_EQ(m.mean_delay(), 3.0);
+  EXPECT_EQ(m.max_depth(), 3);
+}
+
+TEST(Metrics, DelayPercentiles) {
+  Metrics m;
+  for (int i = 1; i <= 10; ++i) {
+    m.record_generated(make_packet(i, 1, 0.0), 1);
+    m.record_delivered(make_packet(i, 1, 0.0), static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(m.delay_percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.delay_percentile(100), 10.0);
+  EXPECT_NEAR(m.delay_percentile(50), 5.5, 1e-12);
+  EXPECT_NEAR(m.delay_percentile(90), 9.1, 1e-12);
+}
+
+TEST(Metrics, PercentileOfNoDeliveriesIsNaN) {
+  Metrics m;
+  EXPECT_TRUE(std::isnan(m.delay_percentile(50)));
+  EXPECT_TRUE(std::isnan(m.mean_delay()));
+}
+
+}  // namespace
+}  // namespace edb::sim

@@ -1,0 +1,69 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace edb {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  w.row(std::vector<std::string>{"1", "2"});
+  w.row(std::vector<double>{3.5, 4.25});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3.5,4.25\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, DoubleFormattingPreservesPrecision) {
+  std::ostringstream out;
+  CsvWriter w(out, {"x"});
+  w.row(std::vector<double>{0.012345678901});  // %.10g -> 10 significant digits
+  EXPECT_NE(out.str().find("0.0123456789"), std::string::npos);
+}
+
+TEST(ParseCsvLine, SimpleSplit) {
+  auto cells = parse_csv_line("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(ParseCsvLine, QuotedCommaAndQuotes) {
+  auto cells = parse_csv_line("\"a,b\",\"say \"\"hi\"\"\",c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a,b");
+  EXPECT_EQ(cells[1], "say \"hi\"");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(ParseCsvLine, EmptyCells) {
+  auto cells = parse_csv_line(",,");
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& c : cells) EXPECT_TRUE(c.empty());
+}
+
+TEST(CsvRoundTrip, WriteThenParse) {
+  std::ostringstream out;
+  CsvWriter w(out, {"name", "value"});
+  w.row(std::vector<std::string>{"with,comma", "with \"quote\""});
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  auto cells = parse_csv_line(line);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "with,comma");
+  EXPECT_EQ(cells[1], "with \"quote\"");
+}
+
+}  // namespace
+}  // namespace edb

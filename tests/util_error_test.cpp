@@ -1,0 +1,79 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace edb {
+namespace {
+
+Expected<int> parse_positive(int v) {
+  if (v <= 0) {
+    return make_error(ErrorCode::kInvalidArgument, "must be positive");
+  }
+  return v;
+}
+
+TEST(Expected, ValueState) {
+  auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(Expected, ErrorState) {
+  auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "must be positive");
+}
+
+TEST(Expected, ValueOrFallsBack) {
+  EXPECT_EQ(parse_positive(7).value_or(42), 7);
+  EXPECT_EQ(parse_positive(-7).value_or(42), 42);
+}
+
+TEST(Expected, TakeMovesTheValue) {
+  Expected<std::string> r = std::string("hello");
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Expected, ArrowOperatorOnStructs) {
+  struct Pair {
+    int a, b;
+  };
+  Expected<Pair> r = Pair{1, 2};
+  EXPECT_EQ(r->a, 1);
+  EXPECT_EQ(r->b, 2);
+}
+
+TEST(Expected, ErrorToStringIncludesCodeName) {
+  const Error e = make_error(ErrorCode::kInfeasible, "no point");
+  EXPECT_EQ(e.to_string(), "infeasible: no point");
+}
+
+TEST(ErrorCodes, AllNamesDistinct) {
+  const ErrorCode codes[] = {ErrorCode::kInvalidArgument,
+                             ErrorCode::kInfeasible,
+                             ErrorCode::kNotConverged,
+                             ErrorCode::kOutOfRange,
+                             ErrorCode::kNotFound,
+                             ErrorCode::kInternal};
+  for (std::size_t i = 0; i < std::size(codes); ++i) {
+    for (std::size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(error_code_name(codes[i]), error_code_name(codes[j]));
+    }
+  }
+}
+
+TEST(Expected, AccessingWrongStateDies) {
+  EXPECT_DEATH(
+      { (void)parse_positive(-1).value(); }, "must be positive");
+  auto ok = parse_positive(3);
+  EXPECT_DEATH({ (void)ok.error(); }, "holds a value");
+}
+
+}  // namespace
+}  // namespace edb

@@ -1,0 +1,98 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/si.h"
+
+namespace edb {
+namespace {
+
+TEST(ApproxEqual, ExactAndRelative) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e9, 1e9 * (1 + 1e-10)));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+}
+
+TEST(Clamp, Bounds) {
+  EXPECT_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Lerp, Endpoints) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+}
+
+TEST(RelDiff, Symmetric) {
+  EXPECT_DOUBLE_EQ(rel_diff(1.0, 1.0), 0.0);
+  EXPECT_NEAR(rel_diff(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(mean({})));
+  EXPECT_TRUE(std::isnan(variance({})));
+  EXPECT_TRUE(std::isnan(percentile({}, 50)));
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+}
+
+TEST(Linspace, EndpointsExactAndEvenlySpaced) {
+  auto g = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.5);
+}
+
+TEST(Logspace, EndpointsExactAndMonotone) {
+  auto g = logspace(0.01, 100.0, 9);
+  ASSERT_EQ(g.size(), 9u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.01);
+  EXPECT_DOUBLE_EQ(g.back(), 100.0);
+  for (std::size_t i = 1; i < g.size(); ++i) EXPECT_GT(g[i], g[i - 1]);
+  EXPECT_NEAR(g[4], 1.0, 1e-12);  // geometric midpoint
+}
+
+TEST(SiUnits, Conversions) {
+  EXPECT_DOUBLE_EQ(ms(250), 0.25);
+  EXPECT_DOUBLE_EQ(us(1500), 0.0015);
+  EXPECT_DOUBLE_EQ(mw(56.4), 0.0564);
+  EXPECT_DOUBLE_EQ(to_ms(0.25), 250);
+  EXPECT_DOUBLE_EQ(to_mw(0.0564), 56.4);
+  EXPECT_DOUBLE_EQ(kbps(250), 250e3);
+  EXPECT_DOUBLE_EQ(bytes(48), 384);
+  EXPECT_DOUBLE_EQ(hours(2), 7200);
+}
+
+TEST(SiFormat, PicksSensiblePrefix) {
+  EXPECT_EQ(si_format(0.0564, "W", 3), "56.4mW");
+  EXPECT_EQ(si_format(250000.0, "bps", 3), "250kbps");
+  EXPECT_EQ(si_format(0.0, "J", 3), "0J");
+}
+
+}  // namespace
+}  // namespace edb

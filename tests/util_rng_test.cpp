@@ -1,0 +1,105 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/math.h"
+
+namespace edb {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Rng r(11);
+  std::vector<double> xs(100000);
+  for (double& x : xs) x = r.uniform();
+  EXPECT_NEAR(mean(xs), 0.5, 0.01);
+  EXPECT_NEAR(variance(xs), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformIntUnbiasedSmallRange) {
+  Rng r(13);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_int(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5.0, n * 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(17);
+  std::vector<double> xs(100000);
+  for (double& x : xs) x = r.exponential(4.0);
+  EXPECT_NEAR(mean(xs), 0.25, 0.01);
+  for (double x : xs) EXPECT_GE(x, 0.0);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng r(19);
+  std::vector<double> xs(100000);
+  for (double& x : xs) x = r.normal(2.0, 3.0);
+  EXPECT_NEAR(mean(xs), 2.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(23);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads, 0.3 * n, 0.01 * n);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng a(42);
+  Rng child_a = a.split();
+  Rng b(42);
+  Rng child_b = b.split();
+  // Same construction -> identical streams.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+  }
+  // Parent and child streams do not collide over a modest horizon.
+  Rng c(42);
+  Rng child = c.split();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(c.next_u64());
+  int overlap = 0;
+  for (int i = 0; i < 1000; ++i) overlap += seen.count(child.next_u64());
+  EXPECT_EQ(overlap, 0);
+}
+
+}  // namespace
+}  // namespace edb

@@ -1,0 +1,41 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace edb {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"col", "x"});
+  t.row(std::vector<std::string>{"a", "1"});
+  t.row(std::vector<std::string>{"longer", "2"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  // Header line, separator, two rows.
+  EXPECT_NE(s.find("col     x"), std::string::npos);
+  EXPECT_NE(s.find("longer  2"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, DoubleRowsRespectPrecision) {
+  Table t({"v"});
+  t.row(std::vector<double>{0.123456789}, 3);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("0.123"), std::string::npos);
+  EXPECT_EQ(out.str().find("0.1234"), std::string::npos);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row(std::vector<std::string>{"x"});
+  t.row(std::vector<std::string>{"y"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace edb
