@@ -1,0 +1,113 @@
+// Scenario-engine microbench: the acceptance run for the parallel engine.
+//
+// Solves a 4-protocol x 40-cell Lmax sweep twice:
+//
+//   baseline — the seed's exact path: SequentialExecutor, cold solves,
+//              no memoization (what core::run_sweep did before the engine);
+//   engine   — ParallelExecutor (4 threads by default), warm-started
+//              cells, memoized model evaluations.
+//
+// It then cross-checks the two runs cell-for-cell (identical feasibility
+// flags, agreements within 1e-9 relative) and reports the wall-clock
+// speedup.  Exit code is non-zero when the runs disagree.
+//
+//   $ ./engine_micro [threads] [cells]
+//
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "mac/registry.h"
+#include "util/math.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edb;
+
+  int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (threads <= 0) threads = ThreadPool::hardware_threads();
+  const int n_cells = std::max(2, argc > 2 ? std::atoi(argv[2]) : 40);
+  const std::vector<std::string> protocols = {"X-MAC", "DMAC", "LMAC",
+                                              "B-MAC"};
+
+  core::Scenario scenario = core::Scenario::paper_default();
+  std::vector<std::unique_ptr<mac::AnalyticMacModel>> models;
+  std::vector<core::SweepJob> jobs;
+  std::vector<double> values;
+  for (int i = 0; i < n_cells; ++i) {
+    // Lmax from 1 s to 6 s, the Fig. 1 range at sweep resolution.
+    values.push_back(1.0 + 5.0 * i / (n_cells - 1));
+  }
+  for (const auto& name : protocols) {
+    models.push_back(mac::make_model(name, scenario.context).take());
+    jobs.push_back(core::SweepJob{models.back().get(),
+                                  scenario.requirements,
+                                  core::SweepKind::kLmax, values});
+  }
+
+  std::printf("== engine_micro: %zu protocols x %d cells ==\n",
+              protocols.size(), n_cells);
+
+  core::ScenarioEngine baseline(core::EngineOptions{
+      .threads = 1, .parallel = false, .warm_start = false,
+      .memoize = false});
+  const double t0 = now_ms();
+  auto seq = baseline.run_sweeps(jobs);
+  const double t_seq = now_ms() - t0;
+  std::printf("baseline (sequential, cold, unmemoized): %8.1f ms\n", t_seq);
+
+  core::ScenarioEngine engine(core::EngineOptions{
+      .threads = threads, .parallel = true, .warm_start = true,
+      .memoize = true});
+  const double t1 = now_ms();
+  auto par = engine.run_sweeps(jobs);
+  const double t_par = now_ms() - t1;
+  std::printf("engine   (%d threads, warm, memoized)  : %8.1f ms\n", threads,
+              t_par);
+
+  // Cross-check: identical feasibility flags, agreements within 1e-9.
+  int mismatches = 0;
+  double worst_rel = 0.0;
+  for (std::size_t p = 0; p < jobs.size(); ++p) {
+    for (std::size_t c = 0; c < seq[p].cells.size(); ++c) {
+      const auto& a = seq[p].cells[c];
+      const auto& b = par[p].cells[c];
+      if (a.feasible() != b.feasible()) {
+        std::printf("FEASIBILITY MISMATCH %s cell %zu\n",
+                    seq[p].protocol.c_str(), c);
+        ++mismatches;
+        continue;
+      }
+      if (!a.feasible()) continue;
+      const double re = rel_diff(a.outcome->nbs.energy, b.outcome->nbs.energy);
+      const double rl =
+          rel_diff(a.outcome->nbs.latency, b.outcome->nbs.latency);
+      worst_rel = std::max({worst_rel, re, rl});
+      if (re > 1e-9 || rl > 1e-9) {
+        std::printf("AGREEMENT MISMATCH %s cell %zu: relE=%.3g relL=%.3g\n",
+                    seq[p].protocol.c_str(), c, re, rl);
+        ++mismatches;
+      }
+    }
+  }
+
+  std::printf("cross-check: %s (worst agreement rel-diff %.3g)\n",
+              mismatches == 0 ? "identical" : "MISMATCH", worst_rel);
+  std::printf("speedup: %.2fx\n", t_seq / t_par);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -2,7 +2,8 @@
 // Ebudget fixed at 0.06 J and Lmax swept over 1..6 s.
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return edb::bench::run_figure("X-MAC", edb::core::SweepKind::kLmax,
-                                "Fig. 1a");
+                                "Fig. 1a",
+                                edb::bench::figure_threads(argc, argv));
 }

@@ -2,7 +2,8 @@
 // Lmax fixed at 6 s and Ebudget swept over 0.01..0.06 J.
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return edb::bench::run_figure("DMAC", edb::core::SweepKind::kBudget,
-                                "Fig. 2b");
+                                "Fig. 2b",
+                                edb::bench::figure_threads(argc, argv));
 }

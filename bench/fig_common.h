@@ -8,20 +8,32 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "core/engine.h"
 #include "core/game_framework.h"
 #include "core/report.h"
 #include "core/sweep.h"
 #include "mac/registry.h"
 #include "util/si.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace edb::bench {
 
+// Thread-count CLI convention shared by the fig* drivers (and matching
+// the benches): ./fig1_xmac [threads] — default 1 (sequential engine),
+// <= 0 resolves to the hardware concurrency.
+inline int figure_threads(int argc, char** argv) {
+  if (argc <= 1) return 1;
+  const int threads = std::atoi(argv[1]);
+  return threads <= 0 ? ThreadPool::hardware_threads() : threads;
+}
+
 inline int run_figure(const std::string& protocol, core::SweepKind kind,
-                      const char* figure_label) {
+                      const char* figure_label, int threads = 1) {
   core::Scenario scenario = core::Scenario::paper_default();
   auto model_or = mac::make_model(protocol, scenario.context);
   if (!model_or.ok()) {
@@ -59,12 +71,18 @@ inline int run_figure(const std::string& protocol, core::SweepKind kind,
   }
   curve.print(std::cout);
 
-  // (b) The trade-off points.
+  // (b) The trade-off points, via the scenario engine.  A warm-started
+  // sweep is one chained task, so with threads > 1 the engine switches to
+  // cold per-cell fan-out instead — same results bit-for-bit (dual_solve
+  // is path-independent), the thread count just trades the warm chain's
+  // savings for cross-cell parallelism.
   std::printf("\nNash-bargaining trade-off points:\n");
-  const core::SweepResult sweep =
-      kind == core::SweepKind::kLmax
-          ? core::paper_fig1_sweep(*model, scenario.requirements)
-          : core::paper_fig2_sweep(*model, scenario.requirements);
+  core::ScenarioEngine engine(core::EngineOptions{
+      .threads = threads, .parallel = threads > 1,
+      .warm_start = threads <= 1, .memoize = true});
+  const core::SweepResult sweep = engine.run_sweep(
+      core::SweepJob{model.get(), scenario.requirements, kind,
+                     core::paper_sweep_values(kind)});
   core::print_sweep_table(sweep, std::cout);
 
   // (c) Summary (saturation clusters, ranges).

@@ -9,17 +9,30 @@
 // a nodes-as-players formulation would grow its strategy space with N.
 // We sweep the deployment from 32 to 28,800 nodes (depth x density) and
 // report the network size, the solve wall-time and the agreement.
+//
+// The deployments are independent scenarios, so they run as one batch
+// through the scenario engine; a second pass fans the same batch across
+// the parallel executor and reports the aggregate speedup.
+//
+//   $ ./scalability [threads]     (default 4 for the parallel pass)
+//
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <vector>
 
-#include "core/game_framework.h"
+#include "core/engine.h"
 #include "mac/registry.h"
 #include "util/si.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace edb;
+  int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (threads <= 0) threads = ThreadPool::hardware_threads();
   std::printf("== Scalability in deployment size ==\n");
   std::printf("players stay {energy, delay}; the network only enters through "
               "the traffic\nmodel, so solve cost is flat in N\n\n");
@@ -32,6 +45,10 @@ int main() {
   };
   const Case cases[] = {{2, 7},  {5, 7},   {10, 7},
                         {20, 7}, {20, 17}, {60, 7}};
+
+  std::vector<core::Scenario> scenarios;
+  std::vector<std::unique_ptr<mac::AnalyticMacModel>> models;
+  std::vector<core::SolveJob> jobs;
   for (const auto& c : cases) {
     core::Scenario scenario = core::Scenario::paper_default();
     scenario.context.ring.depth = c.depth;
@@ -42,31 +59,60 @@ int main() {
     // while N grows.
     scenario.requirements.l_max = 1.4 * c.depth;
     scenario.context.fs *= 200.0 / scenario.context.ring.total_nodes();
-    auto model = mac::make_model("X-MAC", scenario.context).take();
-    core::EnergyDelayGame game(*model, scenario.requirements);
+    scenarios.push_back(scenario);
+    models.push_back(mac::make_model("X-MAC", scenario.context).take());
+    jobs.push_back(core::SolveJob{models.back().get(),
+                                  scenario.requirements});
+  }
 
+  // Per-case timing on the engine's sequential executor.
+  core::ScenarioEngine sequential(core::EngineOptions{
+      .threads = 1, .parallel = false, .warm_start = false, .memoize = true});
+  double total_seq_ms = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
     const auto start = std::chrono::steady_clock::now();
-    auto outcome = game.solve();
+    auto outcome = std::move(sequential.solve_batch({jobs[i]}).front());
     const auto elapsed =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
+    total_seq_ms += elapsed;
 
+    const auto& scenario = scenarios[i];
     char n[32], ms[32];
     std::snprintf(n, 32, "%.0f", scenario.context.ring.total_nodes());
     std::snprintf(ms, 32, "%.1f", elapsed);
     if (!outcome.ok()) {
-      table.row({std::to_string(c.depth), std::to_string((int)c.density), n,
-                 ms, "infeasible", "-"});
+      table.row({std::to_string(cases[i].depth),
+                 std::to_string((int)cases[i].density), n, ms, "infeasible",
+                 "-"});
       continue;
     }
     char e[32], l[32];
     std::snprintf(e, 32, "%.5f", outcome->nbs.energy);
     std::snprintf(l, 32, "%.1f", to_ms(outcome->nbs.latency));
-    table.row({std::to_string(c.depth), std::to_string((int)c.density), n,
-               ms, e, l});
+    table.row({std::to_string(cases[i].depth),
+               std::to_string((int)cases[i].density), n, ms, e, l});
   }
   table.print(std::cout);
+
+  // The same batch fanned across the parallel executor.
+  core::ScenarioEngine parallel(core::EngineOptions{
+      .threads = threads, .parallel = true, .warm_start = false,
+      .memoize = true});
+  const auto start = std::chrono::steady_clock::now();
+  auto batch = parallel.solve_batch(jobs);
+  const double par_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  std::size_t solved = 0;
+  for (const auto& r : batch) {
+    if (r.ok()) ++solved;
+  }
+  std::printf("\nbatch of %zu deployments: sequential %.1f ms, %d threads "
+              "%.1f ms (%.2fx), %zu solved\n",
+              jobs.size(), total_seq_ms, threads, par_ms,
+              total_seq_ms / par_ms, solved);
   std::printf(
       "\nThe game stays two-player at any N.  Compare the two D = 20 rows: "
       "2.25x the\nnodes (C 7 -> 17) at identical solve time — N only enters "

@@ -4,11 +4,18 @@
 // into a plotting tool reproduces them visually.  Writes one CSV block per
 // protocol to stdout (or a file given as argv[1]).
 //
-//   $ ./pareto_explorer > frontiers.csv
+//   $ ./pareto_explorer [output.csv] [threads]
 //
+// The per-protocol NBS points are independent solves, so they go through
+// the scenario engine as one batch (parallel across protocols when a
+// thread count > 1 is given); the frontier traces follow per protocol.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <vector>
 
+#include "core/engine.h"
 #include "core/game_framework.h"
 #include "mac/registry.h"
 #include "util/csv.h"
@@ -26,22 +33,37 @@ int main(int argc, char** argv) {
     }
   }
   std::ostream& out = file.is_open() ? file : std::cout;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 1;
 
   core::Scenario scenario = core::Scenario::paper_default();
   CsvWriter csv(out, {"protocol", "param_name", "param_value", "energy_J",
                       "latency_ms", "is_nbs_point"});
 
-  for (const auto& name : mac::registered_protocols()) {
-    auto model = mac::make_model(name, scenario.context).take();
-    core::EnergyDelayGame game(*model, scenario.requirements);
+  const auto names = mac::registered_protocols();
+  std::vector<std::unique_ptr<mac::AnalyticMacModel>> models;
+  std::vector<core::SolveJob> jobs;
+  for (const auto& name : names) {
+    models.push_back(mac::make_model(name, scenario.context).take());
+    jobs.push_back(core::SolveJob{models.back().get(),
+                                  scenario.requirements});
+  }
 
-    const std::string pname = model->params().info(0).name;
+  core::ScenarioEngine engine(core::EngineOptions{
+      .threads = threads, .parallel = threads > 1, .warm_start = false,
+      .memoize = true});
+  auto outcomes = engine.solve_batch(jobs);
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& name = names[i];
+    core::EnergyDelayGame game(*models[i], scenario.requirements);
+
+    const std::string pname = models[i]->params().info(0).name;
     for (const auto& p : game.frontier(1024)) {
       csv.row(std::vector<std::string>{
           name, pname, std::to_string(p.x[0]), std::to_string(p.f1),
           std::to_string(to_ms(p.f2)), "0"});
     }
-    if (auto outcome = game.solve(); outcome.ok()) {
+    if (const auto& outcome = outcomes[i]; outcome.ok()) {
       csv.row(std::vector<std::string>{
           name, pname, std::to_string(outcome->nbs.x[0]),
           std::to_string(outcome->nbs.energy),

@@ -6,12 +6,18 @@
 // agreements.  A protocol whose game is infeasible cannot satisfy the
 // application at all.
 //
-//   $ ./protocol_selection [Ebudget_J] [Lmax_s]
+//   $ ./protocol_selection [Ebudget_J] [Lmax_s] [threads]
 //
+// Every protocol's game is independent, so the candidates are solved as
+// one batch through the scenario engine (parallel across protocols when a
+// thread count > 1 is given).
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <vector>
 
+#include "core/engine.h"
 #include "core/game_framework.h"
 #include "mac/registry.h"
 #include "util/si.h"
@@ -22,6 +28,7 @@ int main(int argc, char** argv) {
   core::Scenario scenario = core::Scenario::paper_default();
   if (argc > 1) scenario.requirements.e_budget = std::atof(argv[1]);
   if (argc > 2) scenario.requirements.l_max = std::atof(argv[2]);
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 1;
 
   std::printf("== Protocol selection ==\n");
   std::printf("deployment   : D=%d rings, C=%g, fs=%g Hz (CC2420)\n",
@@ -30,16 +37,30 @@ int main(int argc, char** argv) {
   std::printf("requirements : E <= %.3f J/epoch, L <= %.1f s\n\n",
               scenario.requirements.e_budget, scenario.requirements.l_max);
 
+  std::vector<std::string> names;
+  std::vector<std::unique_ptr<mac::AnalyticMacModel>> models;
+  std::vector<core::SolveJob> jobs;
+  for (const auto& name : mac::registered_protocols()) {
+    auto model_or = mac::make_model(name, scenario.context);
+    if (!model_or.ok()) continue;
+    names.push_back(name);
+    models.push_back(std::move(model_or).take());
+    jobs.push_back(core::SolveJob{models.back().get(),
+                                  scenario.requirements});
+  }
+
+  core::ScenarioEngine engine(core::EngineOptions{
+      .threads = threads, .parallel = threads > 1, .warm_start = false,
+      .memoize = true});
+  auto outcomes = engine.solve_batch(jobs);
+
   Table table({"protocol", "E* [J]", "L* [ms]", "Nash product", "param",
                "verdict"});
   std::string best;
   double best_product = -1;
-  for (const auto& name : mac::registered_protocols()) {
-    auto model_or = mac::make_model(name, scenario.context);
-    if (!model_or.ok()) continue;
-    auto model = std::move(model_or).take();
-    core::EnergyDelayGame game(*model, scenario.requirements);
-    auto outcome = game.solve();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& name = names[i];
+    const auto& outcome = outcomes[i];
     if (!outcome.ok()) {
       table.row({name, "-", "-", "-", "-", "infeasible"});
       continue;
@@ -48,7 +69,8 @@ int main(int argc, char** argv) {
     std::snprintf(e, 32, "%.5f", outcome->nbs.energy);
     std::snprintf(l, 32, "%.0f", to_ms(outcome->nbs.latency));
     std::snprintf(np, 32, "%.3g", outcome->nash_product);
-    std::snprintf(px, 32, "%s=%.4f", model->params().info(0).name.c_str(),
+    std::snprintf(px, 32, "%s=%.4f",
+                  models[i]->params().info(0).name.c_str(),
                   outcome->nbs.x[0]);
     table.row({name, e, l, np, px, "ok"});
     // Rank by the energy headroom the agreement leaves (application keeps

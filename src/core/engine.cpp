@@ -1,0 +1,244 @@
+#include "core/engine.h"
+
+#include <optional>
+#include <utility>
+
+#include "mac/memo.h"
+#include "util/thread_pool.h"
+
+namespace edb::core {
+
+void SequentialExecutor::run(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+struct ParallelExecutor::Impl {
+  explicit Impl(int threads) : pool(threads) {}
+  ThreadPool pool;
+};
+
+ParallelExecutor::ParallelExecutor(int threads)
+    : impl_(std::make_unique<Impl>(threads)) {}
+
+ParallelExecutor::~ParallelExecutor() = default;
+
+void ParallelExecutor::run(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  impl_->pool.parallel_for(n, fn);
+}
+
+int ParallelExecutor::threads() const { return impl_->pool.size(); }
+
+namespace {
+
+// Scoped memo wrap: resolves to the wrapped model when memoization is on,
+// the bare model otherwise.  One instance per task/thread — the cache is
+// unsynchronised by design (mac/memo.h).
+struct MemoScope {
+  MemoScope(const mac::AnalyticMacModel& inner, bool memoize) {
+    if (memoize) memo.emplace(inner);
+    model = memoize ? &*memo : &inner;
+  }
+  std::optional<mac::MemoizedMacModel> memo;
+  const mac::AnalyticMacModel* model;
+};
+
+std::unique_ptr<Executor> make_executor(const EngineOptions& opts) {
+  if (opts.parallel) return std::make_unique<ParallelExecutor>(opts.threads);
+  return std::make_unique<SequentialExecutor>();
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(EngineOptions opts)
+    : opts_(opts), executor_(make_executor(opts)) {}
+
+ScenarioEngine::ScenarioEngine(EngineOptions opts,
+                               std::unique_ptr<Executor> executor)
+    : opts_(opts), executor_(std::move(executor)) {
+  EDB_ASSERT(executor_ != nullptr, "engine needs an executor");
+}
+
+ScenarioEngine::~ScenarioEngine() = default;
+
+Expected<BargainingOutcome> ScenarioEngine::solve_one(
+    const mac::AnalyticMacModel& model, const AppRequirements& req,
+    const SolveHints& hints) const {
+  // `model` is already memo-wrapped by the caller when opts_.memoize is on.
+  EnergyDelayGame game(model, req);
+  return game.solve(hints);
+}
+
+SweepResult ScenarioEngine::sweep_skeleton(const SweepJob& job) const {
+  EDB_ASSERT(job.model != nullptr, "sweep job needs a model");
+  EDB_ASSERT(!job.values.empty(), "sweep needs at least one value");
+  for (std::size_t i = 0; i < job.values.size(); ++i) {
+    EDB_ASSERT(job.values[i] > 0, "sweep values must be positive");
+    EDB_ASSERT(i == 0 || job.values[i] > job.values[i - 1],
+               "sweep values must be ascending");
+  }
+  SweepResult result;
+  result.protocol = std::string(job.model->name());
+  result.kind = job.kind;
+  result.base = job.base;
+  result.cells.resize(job.values.size());
+  for (std::size_t i = 0; i < job.values.size(); ++i) {
+    result.cells[i].value = job.values[i];
+  }
+  return result;
+}
+
+// Warm-started evaluation of one whole sweep on the calling thread.
+//
+// Infeasible cells are the expensive degenerate case: the cold pipeline
+// runs its full global multistart only to prove there is nothing to find.
+// Ascending sweep values only ever *relax* the binding requirement (a
+// larger Lmax loosens P1, a larger Ebudget loosens P2; the protocol's own
+// feasibility margin does not depend on the requirement at all), so cell
+// feasibility is monotone along the sweep.  The chain exploits that: a
+// binary search over the cells locates the feasibility frontier with
+// O(log n) cold probes, everything below the frontier is marked infeasible
+// without being solved (it inherits the reason of the highest probed
+// infeasible cell), and the warm chain runs from the frontier up.
+// dual_solve makes warm and cold solves of the same cell agree bit-for-bit
+// (see its path-independence contract), so the mix of probe outcomes and
+// warm-chain outcomes is invisible in the results.
+void ScenarioEngine::sweep_chain(const SweepJob& job,
+                                 SweepResult& result) const {
+  MemoScope scope(*job.model, opts_.memoize);
+  const mac::AnalyticMacModel* m = scope.model;
+  auto& cells = result.cells;
+  const std::size_t n = cells.size();
+
+  std::string inferred_reason;
+  std::size_t highest_infeasible_probe = 0;
+  auto probe = [&](std::size_t j) {
+    SolveHints cold;
+    solve_cell(*m, job, cells[j], cold);
+    if (!cells[j].feasible() && j >= highest_infeasible_probe) {
+      highest_infeasible_probe = j;
+      inferred_reason = cells[j].infeasible_reason;
+    }
+    return cells[j].feasible();
+  };
+
+  // Find the feasibility frontier (smallest feasible index).
+  std::size_t frontier = n;
+  if (probe(0)) {
+    frontier = 0;
+  } else if (n > 1 && probe(n - 1)) {
+    std::size_t lo = 0, hi = n - 1;
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (probe(mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    frontier = hi;
+  }
+
+  // Cells below the frontier are infeasible by monotonicity.
+  for (std::size_t j = 0; j < frontier && j < n; ++j) {
+    if (!cells[j].feasible() && cells[j].infeasible_reason.empty()) {
+      cells[j].infeasible_reason = inferred_reason;
+    }
+  }
+
+  // Warm chain from the frontier.  Probed cells at or above the frontier
+  // are feasible by construction (only below-frontier probes come back
+  // infeasible), so they just refresh the seeds.
+  SolveHints hints;
+  for (std::size_t j = frontier; j < n; ++j) {
+    if (cells[j].feasible()) {
+      const auto& o = *cells[j].outcome;
+      hints = SolveHints{o.p1.x, o.p2.x, o.nbs.x, /*trusted=*/true};
+      continue;
+    }
+    solve_cell(*m, job, cells[j], hints);
+  }
+}
+
+void ScenarioEngine::solve_cell(const mac::AnalyticMacModel& model,
+                                const SweepJob& job, SweepCell& cell,
+                                SolveHints& hints) const {
+  AppRequirements req = job.base;
+  if (job.kind == SweepKind::kLmax) {
+    req.l_max = cell.value;
+  } else {
+    req.e_budget = cell.value;
+  }
+  auto outcome = solve_one(model, req, hints);
+  if (outcome.ok()) {
+    if (opts_.warm_start) {
+      hints = SolveHints{outcome->p1.x, outcome->p2.x, outcome->nbs.x,
+                         /*trusted=*/true};
+    }
+    cell.outcome = std::move(outcome).take();
+  } else {
+    // Do not chain seeds across an infeasible gap — the next feasible
+    // cell's optimum may sit far from the last agreement.
+    hints = {};
+    cell.infeasible_reason = outcome.error().to_string();
+  }
+}
+
+std::vector<Expected<BargainingOutcome>> ScenarioEngine::solve_batch(
+    const std::vector<SolveJob>& jobs) {
+  std::vector<Expected<BargainingOutcome>> out(
+      jobs.size(), Expected<BargainingOutcome>(
+                       make_error(ErrorCode::kInternal, "not solved")));
+  executor_->run(jobs.size(), [&](std::size_t i) {
+    EDB_ASSERT(jobs[i].model != nullptr, "solve job needs a model");
+    MemoScope scope(*jobs[i].model, opts_.memoize);
+    out[i] = solve_one(*scope.model, jobs[i].req, SolveHints{});
+  });
+  return out;
+}
+
+SweepResult ScenarioEngine::run_sweep(const SweepJob& job) {
+  auto results = run_sweeps({job});
+  return std::move(results.front());
+}
+
+std::vector<SweepResult> ScenarioEngine::run_sweeps(
+    const std::vector<SweepJob>& jobs) {
+  std::vector<SweepResult> results;
+  results.reserve(jobs.size());
+  for (const auto& job : jobs) results.push_back(sweep_skeleton(job));
+
+  if (opts_.warm_start) {
+    // One chained task per sweep: cell i+1 is seeded from cell i, so cells
+    // of a sweep stay on one thread; sweeps fan across the executor.  The
+    // memo cache is shared by the whole chain — E(X), L(X) and the
+    // feasibility margin do not depend on the swept requirement, so
+    // neighbouring cells (identical solver trajectories on saturated
+    // plateaus) re-hit each other's evaluations.
+    executor_->run(jobs.size(),
+                   [&](std::size_t i) { sweep_chain(jobs[i], results[i]); });
+    return results;
+  }
+
+  // Cold cells are fully independent: flatten every cell of every sweep
+  // into one task list so small sweep batches still fill the pool.  Each
+  // cell gets its own cache (a shared one would make results depend on
+  // which cells ran on which thread — it wouldn't change values, but the
+  // cold path exists to reproduce the seed exactly, caches included).
+  std::vector<std::pair<std::size_t, std::size_t>> flat;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (std::size_t j = 0; j < results[i].cells.size(); ++j) {
+      flat.emplace_back(i, j);
+    }
+  }
+  executor_->run(flat.size(), [&](std::size_t k) {
+    const auto [i, j] = flat[k];
+    MemoScope scope(*jobs[i].model, opts_.memoize);
+    SolveHints hints;
+    solve_cell(*scope.model, jobs[i], results[i].cells[j], hints);
+  });
+  return results;
+}
+
+}  // namespace edb::core

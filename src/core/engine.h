@@ -1,0 +1,141 @@
+// Parallel scenario engine: deterministic fan-out of independent solves.
+//
+// Every cell of a requirement sweep and every per-protocol bargaining
+// solve is independent of the others, so the figure pipelines are
+// embarrassingly parallel.  The engine partitions that work
+// deterministically: each job (or cell) owns a preallocated output slot,
+// executors only decide *when* a slot is computed, never *what* goes in
+// it, so a parallel run and a sequential run of the same jobs produce
+// bit-identical results.
+//
+// Two further accelerations, both optional and both value-preserving
+// within the solver cross-check tolerance (DESIGN.md §2):
+//
+//   warm_start — inside one sweep, cell i+1's P1/P2/P4 solves are seeded
+//     from cell i's operating points (the agreement moves continuously
+//     with the requirement, so the neighbour is an excellent start); a
+//     trusted seed lets dual_solve replace the penalty multistart with a
+//     single descent from the seed.  Warm-started sweeps therefore run as
+//     one chained task; parallelism comes from fanning sweeps/protocols,
+//     which is exactly the multi-protocol shape of the paper's figure
+//     pipelines.
+//
+//   memoize — each cell's solve runs against a mac::MemoizedMacModel, so
+//     repeated E(X)/L(X)/margin evaluations (P4 recomputes all of them in
+//     its objective and slacks; the grid oracle shares its first-round
+//     lattice across P1/P2/P4) become hash hits.  Bit-identical values.
+//
+// The strictly sequential path survives as SequentialExecutor — an engine
+// configured {.parallel = false, .warm_start = false, .memoize = false}
+// is exactly what core::run_sweep runs, and every other configuration
+// produces bit-identical feasibility flags and outcomes over the same
+// cells.  (One caveat: a warm chain does not solve the cells below the
+// feasibility frontier individually, so their infeasible_reason strings
+// are inherited from a probed cell rather than derived per cell.)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/sweep.h"
+
+namespace edb::core {
+
+// Executes a batch of index-addressed tasks.  Implementations must invoke
+// fn(i) exactly once for every i in [0, n).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual const char* name() const = 0;
+  virtual void run(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) = 0;
+};
+
+// The seed's behaviour: tasks run in index order on the calling thread.
+class SequentialExecutor final : public Executor {
+ public:
+  const char* name() const override { return "sequential"; }
+  void run(std::size_t n,
+           const std::function<void(std::size_t)>& fn) override;
+};
+
+// Tasks run on a deterministic fixed-size thread pool (util/thread_pool.h).
+class ParallelExecutor final : public Executor {
+ public:
+  explicit ParallelExecutor(int threads = 0);
+  ~ParallelExecutor() override;
+
+  const char* name() const override { return "parallel"; }
+  void run(std::size_t n,
+           const std::function<void(std::size_t)>& fn) override;
+  int threads() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct EngineOptions {
+  int threads = 0;         // ParallelExecutor width; 0 = hardware threads
+  bool parallel = true;    // false => SequentialExecutor
+  bool warm_start = true;  // chain cells within a sweep (trusted seeds)
+  bool memoize = true;     // per-cell MemoizedMacModel
+};
+
+// One independent bargaining solve.  The model must outlive the call.
+struct SolveJob {
+  const mac::AnalyticMacModel* model = nullptr;
+  AppRequirements req;
+};
+
+// One requirement sweep (core/sweep.h semantics: positive ascending
+// values).  The model must outlive the call.
+struct SweepJob {
+  const mac::AnalyticMacModel* model = nullptr;
+  AppRequirements base;
+  SweepKind kind = SweepKind::kLmax;
+  std::vector<double> values;
+};
+
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(EngineOptions opts = {});
+  // Injects a custom executor (tests); `opts.parallel/threads` are ignored.
+  ScenarioEngine(EngineOptions opts, std::unique_ptr<Executor> executor);
+  ~ScenarioEngine();
+
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  const EngineOptions& options() const { return opts_; }
+  Executor& executor() { return *executor_; }
+
+  // Solves each job; slot i holds job i's outcome (or its error).
+  std::vector<Expected<BargainingOutcome>> solve_batch(
+      const std::vector<SolveJob>& jobs);
+
+  // Runs one sweep through the engine (warm-started when configured;
+  // cells fan across threads otherwise).
+  SweepResult run_sweep(const SweepJob& job);
+
+  // Fans a batch of sweeps.  With warm_start each sweep is one chained
+  // task; without it every cell of every sweep is its own task.
+  std::vector<SweepResult> run_sweeps(const std::vector<SweepJob>& jobs);
+
+ private:
+  Expected<BargainingOutcome> solve_one(const mac::AnalyticMacModel& model,
+                                        const AppRequirements& req,
+                                        const SolveHints& hints) const;
+  SweepResult sweep_skeleton(const SweepJob& job) const;
+  // Warm-started whole-sweep evaluation (frontier search + seed chain).
+  void sweep_chain(const SweepJob& job, SweepResult& result) const;
+  // `model` is the job's model, possibly memo-wrapped by the caller.
+  void solve_cell(const mac::AnalyticMacModel& model, const SweepJob& job,
+                  SweepCell& cell, SolveHints& hints) const;
+
+  EngineOptions opts_;
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace edb::core

@@ -56,6 +56,22 @@ struct BargainingOutcome {
   double latency_gain_ratio() const;
 };
 
+// Warm-start hints carried between neighbouring solves (core/engine.h).
+// An untrusted seed joins the penalty solver's multistart list for the
+// matching subproblem.  A `trusted` seed (the scenario engine's chain)
+// replaces the penalty multistart with a single fenced descent from the
+// seed — the cost saving behind warm-started sweeps; the shared coarse
+// scan and anchored polish of dual_solve keep the result equal to the
+// cold path's (DESIGN.md §2).
+struct SolveHints {
+  std::vector<double> p1;   // seed for the energy player's optimum
+  std::vector<double> p2;   // seed for the delay player's optimum
+  std::vector<double> nbs;  // seed for the agreement point (P4)
+  bool trusted = false;
+
+  bool empty() const { return p1.empty() && p2.empty() && nbs.empty(); }
+};
+
 class EnergyDelayGame {
  public:
   // The model must outlive the game.
@@ -66,13 +82,16 @@ class EnergyDelayGame {
   // (P2): delay player.  kInfeasible when no parameter setting meets the
   // budget.
   Expected<OperatingPoint> solve_p2() const;
-  // Full pipeline: P1, P2, then the Nash bargaining problem (P4).
+  // Full pipeline: P1, P2, then the Nash bargaining problem (P4),
+  // optionally warm-started from a neighbouring solve's hints.
   Expected<BargainingOutcome> solve() const;
+  Expected<BargainingOutcome> solve(const SolveHints& hints) const;
 
   // Asymmetric extension (beyond the paper): maximises the weighted Nash
   // product (Eworst - E)^alpha (Lworst - L)^(1-alpha).  alpha in (0, 1) is
   // the energy player's bargaining power; alpha = 1/2 recovers solve().
-  Expected<BargainingOutcome> solve_weighted(double alpha) const;
+  Expected<BargainingOutcome> solve_weighted(double alpha,
+                                             const SolveHints& hints = {}) const;
 
   // The protocol's feasible E-L frontier (for plotting the trade-off
   // curves behind the paper's figures).  Not clipped to the requirements.
@@ -83,6 +102,10 @@ class EnergyDelayGame {
 
  private:
   OperatingPoint make_point(std::vector<double> x) const;
+  Expected<OperatingPoint> solve_p1(const std::vector<double>& seed,
+                                    bool trusted) const;
+  Expected<OperatingPoint> solve_p2(const std::vector<double>& seed,
+                                    bool trusted) const;
 
   const mac::AnalyticMacModel& model_;
   AppRequirements req_;

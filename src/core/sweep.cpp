@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/engine.h"
 #include "util/math.h"
 
 namespace edb::core {
@@ -48,48 +49,31 @@ std::vector<std::size_t> SweepResult::saturated_tail(double tol) const {
 SweepResult run_sweep(const mac::AnalyticMacModel& model,
                       AppRequirements base, SweepKind kind,
                       const std::vector<double>& values) {
-  EDB_ASSERT(!values.empty(), "sweep needs at least one value");
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    EDB_ASSERT(values[i] > 0, "sweep values must be positive");
-    EDB_ASSERT(i == 0 || values[i] > values[i - 1],
-               "sweep values must be ascending");
-  }
+  // Seed-compatible configuration: sequential, cold, unmemoized solves.
+  ScenarioEngine engine(EngineOptions{.threads = 1,
+                                      .parallel = false,
+                                      .warm_start = false,
+                                      .memoize = false});
+  return engine.run_sweep(SweepJob{&model, base, kind, values});
+}
 
-  SweepResult result;
-  result.protocol = std::string(model.name());
-  result.kind = kind;
-  result.base = base;
-
-  for (double v : values) {
-    AppRequirements req = base;
-    if (kind == SweepKind::kLmax) {
-      req.l_max = v;
-    } else {
-      req.e_budget = v;
-    }
-    SweepCell cell;
-    cell.value = v;
-    EnergyDelayGame game(model, req);
-    auto outcome = game.solve();
-    if (outcome.ok()) {
-      cell.outcome = std::move(outcome).take();
-    } else {
-      cell.infeasible_reason = outcome.error().to_string();
-    }
-    result.cells.push_back(std::move(cell));
-  }
-  return result;
+const std::vector<double>& paper_sweep_values(SweepKind kind) {
+  static const std::vector<double> lmax = {1, 2, 3, 4, 5, 6};
+  static const std::vector<double> budget = {0.01, 0.02, 0.03,
+                                             0.04, 0.05, 0.06};
+  return kind == SweepKind::kLmax ? lmax : budget;
 }
 
 SweepResult paper_fig1_sweep(const mac::AnalyticMacModel& model,
                              AppRequirements base) {
-  return run_sweep(model, base, SweepKind::kLmax, {1, 2, 3, 4, 5, 6});
+  return run_sweep(model, base, SweepKind::kLmax,
+                   paper_sweep_values(SweepKind::kLmax));
 }
 
 SweepResult paper_fig2_sweep(const mac::AnalyticMacModel& model,
                              AppRequirements base) {
   return run_sweep(model, base, SweepKind::kBudget,
-                   {0.01, 0.02, 0.03, 0.04, 0.05, 0.06});
+                   paper_sweep_values(SweepKind::kBudget));
 }
 
 }  // namespace edb::core

@@ -43,10 +43,20 @@ struct SweepResult {
 };
 
 // Runs the sweep.  `model` must outlive the call.  Values must be positive
-// and ascending.
+// and ascending.  This is the compatibility entry point: it routes through
+// the scenario engine (core/engine.h) configured as sequential, cold,
+// unmemoized — the engine's reference configuration, bit-identical to any
+// other engine configuration over the same values.  (The solver pipeline
+// itself evolves across PRs, so numbers are pinned to the current
+// dual_solve, not to historic output.)  Callers that want parallel
+// fan-out or warm-started cells construct a ScenarioEngine themselves.
 SweepResult run_sweep(const mac::AnalyticMacModel& model,
                       AppRequirements base, SweepKind kind,
                       const std::vector<double>& values);
+
+// The requirement grids of the paper's figures (Fig. 1: Lmax = 1..6 s,
+// Fig. 2: Ebudget = 0.01..0.06 J).
+const std::vector<double>& paper_sweep_values(SweepKind kind);
 
 // The exact sweeps of the paper's figures.
 SweepResult paper_fig1_sweep(const mac::AnalyticMacModel& model,

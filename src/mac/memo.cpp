@@ -1,0 +1,71 @@
+#include "mac/memo.h"
+
+#include <bit>
+#include <cstdint>
+
+namespace edb::mac {
+namespace internal {
+
+std::size_t VectorBitsHash::operator()(const std::vector<double>& x) const {
+  // FNV-1a over the raw bit patterns; exact-bit keying means solver points
+  // only collide when they are the same point.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (double v : x) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+bool VectorBitsEq::operator()(const std::vector<double>& a,
+                              const std::vector<double>& b) const {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) !=
+        std::bit_cast<std::uint64_t>(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace internal
+
+MemoizedMacModel::MemoizedMacModel(const AnalyticMacModel& inner)
+    : AnalyticMacModel(inner.context()), inner_(inner) {}
+
+template <typename Eval>
+double MemoizedMacModel::cached(Cache& cache, const std::vector<double>& x,
+                                Eval eval) const {
+  auto it = cache.find(x);
+  if (it != cache.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const double v = eval(x);
+  cache.emplace(x, v);
+  return v;
+}
+
+double MemoizedMacModel::energy(const std::vector<double>& x) const {
+  return cached(energy_cache_, x,
+                [this](const std::vector<double>& p) { return inner_.energy(p); });
+}
+
+double MemoizedMacModel::latency(const std::vector<double>& x) const {
+  return cached(latency_cache_, x, [this](const std::vector<double>& p) {
+    return inner_.latency(p);
+  });
+}
+
+double MemoizedMacModel::feasibility_margin(const std::vector<double>& x) const {
+  return cached(margin_cache_, x, [this](const std::vector<double>& p) {
+    return inner_.feasibility_margin(p);
+  });
+}
+
+}  // namespace edb::mac

@@ -1,0 +1,79 @@
+// Memoizing decorator over an analytic MAC model.
+//
+// One bargaining solve evaluates E(X) and L(X) thousands of times, and the
+// same X recurs constantly: the P4 objective and its slack constraints each
+// call both metrics at every candidate, the grid oracle's first-round
+// lattice is shared between P1, P2 and P4, and Nelder-Mead re-visits
+// simplex vertices.  Wrapping the model in a MemoizedMacModel collapses
+// those repeats into hash-map hits while returning bit-identical values —
+// solver trajectories (and therefore results) are unchanged.
+//
+// The cache is unsynchronised by design: the scenario engine creates one
+// wrapper per sweep cell, owned by a single worker thread (the inner model
+// is stateless-const and safely shared).  It is keyed on the exact bit
+// pattern of X, so "nearby" points never alias.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "mac/model.h"
+
+namespace edb::mac {
+
+namespace internal {
+struct VectorBitsHash {
+  std::size_t operator()(const std::vector<double>& x) const;
+};
+struct VectorBitsEq {
+  bool operator()(const std::vector<double>& a,
+                  const std::vector<double>& b) const;
+};
+}  // namespace internal
+
+class MemoizedMacModel final : public AnalyticMacModel {
+ public:
+  // `inner` must outlive the wrapper.
+  explicit MemoizedMacModel(const AnalyticMacModel& inner);
+
+  std::string_view name() const override { return inner_.name(); }
+  const ParamSpace& params() const override { return inner_.params(); }
+
+  PowerBreakdown power_at_ring(const std::vector<double>& x,
+                               int d) const override {
+    return inner_.power_at_ring(x, d);
+  }
+  double hop_latency(const std::vector<double>& x, int d) const override {
+    return inner_.hop_latency(x, d);
+  }
+  double source_wait(const std::vector<double>& x) const override {
+    return inner_.source_wait(x);
+  }
+  double feasibility_margin(const std::vector<double>& x) const override;
+
+  double energy(const std::vector<double>& x) const override;
+  double latency(const std::vector<double>& x) const override;
+
+  const AnalyticMacModel& inner() const { return inner_; }
+
+  // Cache statistics (for benches and tests).
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  using Cache = std::unordered_map<std::vector<double>, double,
+                                   internal::VectorBitsHash,
+                                   internal::VectorBitsEq>;
+  template <typename Eval>
+  double cached(Cache& cache, const std::vector<double>& x, Eval eval) const;
+
+  const AnalyticMacModel& inner_;
+  mutable Cache energy_cache_;
+  mutable Cache latency_cache_;
+  mutable Cache margin_cache_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace edb::mac

@@ -124,14 +124,17 @@ class AnalyticMacModel {
   }
 
   // E(X): joules per energy epoch at the bottleneck ring (max over rings).
-  double energy(const std::vector<double>& x) const;
+  // Virtual so decorators (mac::MemoizedMacModel) can cache the scan over
+  // rings; overrides must return exactly the base value for the same x.
+  virtual double energy(const std::vector<double>& x) const;
   // Per-ring epoch energy decomposition [J].
   PowerBreakdown energy_breakdown(const std::vector<double>& x, int d) const;
   // Index of the ring with maximal power draw.
   int bottleneck_ring(const std::vector<double>& x) const;
 
   // L(X): worst-case expected e2e delay [s] (source wait + D hop latencies).
-  double latency(const std::vector<double>& x) const;
+  // Virtual for the same decorator hook as energy().
+  virtual double latency(const std::vector<double>& x) const;
 
   const ModelContext& context() const { return ctx_; }
 

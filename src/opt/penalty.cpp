@@ -24,8 +24,12 @@ Expected<ConstrainedResult> constrained_min(
     const PenaltyOptions& opts) {
   int evals = 0;
 
-  // Deterministic multistart seeds: midpoint + fixed-seed uniform samples.
+  // Deterministic multistart seeds: caller-provided warm starts, then the
+  // midpoint, then fixed-seed uniform samples.
   std::vector<std::vector<double>> seeds;
+  for (const auto& s : opts.extra_seeds) {
+    if (s.size() == box.dim()) seeds.push_back(box.clamp(s));
+  }
   seeds.push_back(box.midpoint());
   Rng rng(0xedb0427ULL);
   for (int i = 1; i < opts.multistarts; ++i) seeds.push_back(box.sample(rng));

@@ -25,6 +25,10 @@ struct PenaltyOptions {
   int rounds = 9;                 // final rho = initial * growth^(rounds-1)
   int multistarts = 6;            // deterministic seeds per round
   double feasibility_tol = 1e-7;  // max violation accepted as feasible
+  // Caller-provided starting points (clamped into the box), tried before
+  // the built-in seeds every round — e.g. an untrusted warm start from a
+  // neighbouring solve (core/game_framework.cpp's dual_solve).
+  std::vector<std::vector<double>> extra_seeds;
   NelderMeadOptions inner;
 };
 

@@ -1,0 +1,187 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/memo.h"
+#include "mac/registry.h"
+
+namespace edb::core {
+namespace {
+
+EngineOptions sequential_opts(bool warm, bool memo) {
+  return EngineOptions{
+      .threads = 1, .parallel = false, .warm_start = warm, .memoize = memo};
+}
+
+EngineOptions parallel_opts(int threads, bool warm, bool memo) {
+  return EngineOptions{.threads = threads,
+                       .parallel = true,
+                       .warm_start = warm,
+                       .memoize = memo};
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : scenario_(Scenario::paper_default()) {
+    // X-MAC is fully feasible over the fig. 1 range; LMAC has an
+    // infeasible prefix, which exercises the chain's frontier search.
+    for (const char* name : {"X-MAC", "LMAC"}) {
+      models_.push_back(mac::make_model(name, scenario_.context).take());
+      jobs_.push_back(SweepJob{models_.back().get(), scenario_.requirements,
+                               SweepKind::kLmax,
+                               paper_sweep_values(SweepKind::kLmax)});
+    }
+  }
+
+  static void expect_identical(const SweepResult& a, const SweepResult& b) {
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+      ASSERT_EQ(a.cells[i].feasible(), b.cells[i].feasible())
+          << a.protocol << " cell " << i;
+      if (!a.cells[i].feasible()) {
+        // Same engine configuration on both sides: even the inherited
+        // infeasible reasons must match.
+        EXPECT_EQ(a.cells[i].infeasible_reason, b.cells[i].infeasible_reason)
+            << a.protocol << " cell " << i;
+        continue;
+      }
+      const auto& oa = *a.cells[i].outcome;
+      const auto& ob = *b.cells[i].outcome;
+      // Bit-identical, not merely close: executors only decide when a cell
+      // is computed, never what goes into it.
+      EXPECT_EQ(oa.nbs.energy, ob.nbs.energy) << a.protocol << " cell " << i;
+      EXPECT_EQ(oa.nbs.latency, ob.nbs.latency) << a.protocol << " cell "
+                                                << i;
+      EXPECT_EQ(oa.p1.energy, ob.p1.energy);
+      EXPECT_EQ(oa.p2.latency, ob.p2.latency);
+      EXPECT_EQ(oa.nash_product, ob.nash_product);
+    }
+  }
+
+  Scenario scenario_;
+  std::vector<std::unique_ptr<mac::AnalyticMacModel>> models_;
+  std::vector<SweepJob> jobs_;
+};
+
+TEST_F(EngineTest, ParallelSweepMatchesSequentialCellForCell) {
+  ScenarioEngine sequential(sequential_opts(true, true));
+  ScenarioEngine parallel(parallel_opts(4, true, true));
+  auto seq = sequential.run_sweeps(jobs_);
+  auto par = parallel.run_sweeps(jobs_);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    expect_identical(seq[i], par[i]);
+  }
+}
+
+TEST_F(EngineTest, ColdParallelCellsMatchSequential) {
+  // Without warm start every cell is its own task; partitioning across
+  // threads must still not change anything.
+  ScenarioEngine sequential(sequential_opts(false, false));
+  ScenarioEngine parallel(parallel_opts(3, false, false));
+  auto seq = sequential.run_sweeps({jobs_[0]});
+  auto par = parallel.run_sweeps({jobs_[0]});
+  expect_identical(seq[0], par[0]);
+}
+
+TEST_F(EngineTest, WarmStartNoWorseNashProductThanCold) {
+  ScenarioEngine warm(sequential_opts(true, true));
+  ScenarioEngine cold(sequential_opts(false, false));
+  for (const auto& job : jobs_) {
+    auto w = warm.run_sweep(job);
+    auto c = cold.run_sweep(job);
+    ASSERT_EQ(w.cells.size(), c.cells.size());
+    for (std::size_t i = 0; i < w.cells.size(); ++i) {
+      ASSERT_EQ(w.cells[i].feasible(), c.cells[i].feasible())
+          << w.protocol << " cell " << i;
+      if (!w.cells[i].feasible()) continue;
+      EXPECT_GE(w.cells[i].outcome->nash_product,
+                c.cells[i].outcome->nash_product * (1.0 - 1e-9))
+          << w.protocol << " cell " << i;
+    }
+  }
+}
+
+TEST_F(EngineTest, LegacyRunSweepMatchesEngine) {
+  auto legacy = run_sweep(*models_[0], scenario_.requirements,
+                          SweepKind::kLmax,
+                          paper_sweep_values(SweepKind::kLmax));
+  ScenarioEngine cold(sequential_opts(false, false));
+  auto engine = cold.run_sweep(jobs_[0]);
+  expect_identical(legacy, engine);
+}
+
+TEST_F(EngineTest, SolveBatchMatchesDirectSolves) {
+  std::vector<SolveJob> jobs;
+  for (const auto& m : models_) {
+    jobs.push_back(SolveJob{m.get(), scenario_.requirements});
+  }
+  ScenarioEngine engine(parallel_opts(2, true, true));
+  auto batch = engine.solve_batch(jobs);
+  ASSERT_EQ(batch.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EnergyDelayGame game(*models_[i], scenario_.requirements);
+    auto direct = game.solve();
+    ASSERT_EQ(batch[i].ok(), direct.ok());
+    if (!direct.ok()) continue;
+    EXPECT_EQ(batch[i]->nbs.energy, direct->nbs.energy);
+    EXPECT_EQ(batch[i]->nbs.latency, direct->nbs.latency);
+  }
+}
+
+TEST_F(EngineTest, BudgetSweepFrontierSearchMatchesCold) {
+  // The kBudget kind exercises the monotone frontier search on the other
+  // requirement axis.
+  SweepJob job{models_[1].get(), scenario_.requirements, SweepKind::kBudget,
+               paper_sweep_values(SweepKind::kBudget)};
+  ScenarioEngine warm(sequential_opts(true, true));
+  ScenarioEngine cold(sequential_opts(false, false));
+  auto w = warm.run_sweep(job);
+  auto c = cold.run_sweep(job);
+  ASSERT_EQ(w.cells.size(), c.cells.size());
+  for (std::size_t i = 0; i < w.cells.size(); ++i) {
+    EXPECT_EQ(w.cells[i].feasible(), c.cells[i].feasible())
+        << "cell " << i;
+  }
+}
+
+TEST_F(EngineTest, UntrustedSeedMatchesColdSolve) {
+  // An untrusted seed only joins the penalty multistart; the macro-margin
+  // rule in dual_solve keeps the result equal to the unseeded cold solve.
+  EnergyDelayGame game(*models_[0], scenario_.requirements);
+  auto cold = game.solve();
+  ASSERT_TRUE(cold.ok());
+
+  SolveHints hints{cold->p1.x, cold->p2.x, cold->nbs.x, /*trusted=*/false};
+  auto seeded = game.solve(hints);
+  ASSERT_TRUE(seeded.ok());
+  EXPECT_EQ(seeded->nbs.energy, cold->nbs.energy);
+  EXPECT_EQ(seeded->nbs.latency, cold->nbs.latency);
+  EXPECT_EQ(seeded->nash_product, cold->nash_product);
+}
+
+TEST(MemoizedModelTest, TransparentAndCaching) {
+  Scenario scenario = Scenario::paper_default();
+  auto model = mac::make_model("X-MAC", scenario.context).take();
+  mac::MemoizedMacModel memo(*model);
+
+  const auto x = model->params().midpoint();
+  EXPECT_EQ(memo.energy(x), model->energy(x));
+  EXPECT_EQ(memo.latency(x), model->latency(x));
+  EXPECT_EQ(memo.feasibility_margin(x), model->feasibility_margin(x));
+  const std::size_t misses = memo.misses();
+  EXPECT_EQ(memo.hits(), 0u);
+
+  // Same point again: all hits, same values.
+  EXPECT_EQ(memo.energy(x), model->energy(x));
+  EXPECT_EQ(memo.latency(x), model->latency(x));
+  EXPECT_EQ(memo.feasibility_margin(x), model->feasibility_margin(x));
+  EXPECT_EQ(memo.misses(), misses);
+  EXPECT_EQ(memo.hits(), 3u);
+}
+
+}  // namespace
+}  // namespace edb::core

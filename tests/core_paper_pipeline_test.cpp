@@ -110,7 +110,9 @@ TEST(Fig1, LmacPointsAllDistinct) {
   auto pts = sweep_lmax("LMAC");
   double prev = kInf;
   for (const auto& [lmax, p] : pts) {
-    if (prev != kInf) EXPECT_GT(prev - p.e, 0.002) << lmax;
+    if (prev != kInf) {
+      EXPECT_GT(prev - p.e, 0.002) << lmax;
+    }
     prev = p.e;
   }
 }

@@ -53,7 +53,6 @@ TEST(DmacSim, PacketCascadesWithinOneCycle) {
   sim.finalize(dmac_factory(t_cycle, 4));
   sim.run();
   const double measured = sim.metrics().mean_delay_from_depth(4);
-  DmacSimParams ref{.t_cycle = t_cycle, .max_depth = 4};
   // mu ~ 9.5 ms with default packets.
   const double predicted = t_cycle / 2 + 4 * 0.0095;
   EXPECT_GT(measured, predicted * 0.5);
