@@ -1,0 +1,58 @@
+// Machine-readable bench output: a flat JSON object of numeric/string
+// fields written to BENCH_<name>.json next to the binary, so the perf
+// trajectory (queries/sec, hit rate, speedup) can be tracked across PRs
+// without scraping human-readable tables.  Header-only on purpose — the
+// benches are standalone tools, not a library surface.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace edb::bench {
+
+class BenchJson {
+ public:
+  void number(const char* name, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    fields_.emplace_back(name, buf);
+  }
+  void integer(const char* name, long long v) {
+    fields_.emplace_back(name, std::to_string(v));
+  }
+  void text(const char* name, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    fields_.emplace_back(name, quoted);
+  }
+
+  // Writes {"a": 1, ...}\n; returns false (with a warning) when the file
+  // cannot be opened so benches keep printing their human output.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("{", f);
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i ? ", " : "", fields_[i].first.c_str(),
+                   fields_[i].second.c_str());
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace edb::bench

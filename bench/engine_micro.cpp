@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/engine.h"
 #include "mac/registry.h"
 #include "util/math.h"
@@ -109,5 +110,17 @@ int main(int argc, char** argv) {
   std::printf("cross-check: %s (worst agreement rel-diff %.3g)\n",
               mismatches == 0 ? "identical" : "MISMATCH", worst_rel);
   std::printf("speedup: %.2fx\n", t_seq / t_par);
+
+  bench::BenchJson json;
+  json.integer("threads", threads);
+  json.integer("protocols", static_cast<long long>(protocols.size()));
+  json.integer("cells", n_cells);
+  json.number("baseline_ms", t_seq);
+  json.number("engine_ms", t_par);
+  json.number("speedup", t_seq / t_par);
+  json.number("worst_rel_diff", worst_rel);
+  json.integer("mismatches", mismatches);
+  json.write_file("BENCH_engine.json");
+
   return mismatches == 0 ? 0 : 1;
 }

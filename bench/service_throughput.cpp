@@ -1,0 +1,209 @@
+// Tuning-service acceptance bench: hit-rate-driven serving throughput.
+//
+// Generates a Zipf-skewed mix of queries over perturbed paper_default()
+// scenarios (distinct Lmax ranks, plus per-draw float noise that the key
+// layer's quantization must absorb) and serves it twice:
+//
+//   served — TuningService with the sharded cache and batch planner:
+//            distinct scenarios solved once (grouped into warm chains),
+//            everything else is cache hits;
+//   cold   — the same service with the cache disabled and batching off
+//            (max_batch = 1): every query pays a full solve.  Measured on
+//            a subsample and scaled to a per-query cost, because the
+//            whole mix would take hours by construction.
+//
+// Reports queries/sec for both paths, the hit rate and the speedup, and
+// records them in BENCH_service.json.  Exit code is non-zero when a
+// served result disagrees bit-for-bit with a cold sequential
+// core::run_sweep of the same scenario — the cache must be
+// value-preserving, not just fast.
+//
+//   $ ./service_throughput [queries] [distinct] [threads] [cold_sample]
+//
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/sweep.h"
+#include "mac/registry.h"
+#include "service/service.h"
+#include "util/rng.h"
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edb;
+
+  const int n_queries = std::max(1, argc > 1 ? std::atoi(argv[1]) : 10000);
+  const int distinct = std::max(1, argc > 2 ? std::atoi(argv[2]) : 32);
+  const int threads = std::max(1, argc > 3 ? std::atoi(argv[3]) : 4);
+  const int cold_sample =
+      std::min(n_queries, std::max(1, argc > 4 ? std::atoi(argv[4]) : 100));
+  const std::vector<std::string> protocols = {"X-MAC", "DMAC"};
+
+  std::printf("== service_throughput: %d queries, %d distinct scenarios, "
+              "%zu protocols, %d threads ==\n",
+              n_queries, distinct, protocols.size(), threads);
+
+  // The scenario pool: paper_default() with the delay bound spread over
+  // [2, 6] s — queries differ only in requirements, which is exactly what
+  // the planner groups into warm chains.
+  std::vector<core::Scenario> pool;
+  for (int k = 0; k < distinct; ++k) {
+    core::Scenario s = core::Scenario::paper_default();
+    s.requirements.l_max =
+        distinct == 1 ? 6.0 : 2.0 + 4.0 * k / (distinct - 1);
+    pool.push_back(s);
+  }
+
+  // Zipf(s = 1.2) rank-frequency over the pool, plus per-draw relative
+  // float noise at 1e-13 — far below the key layer's 10-significant-digit
+  // quantization, so noisy twins must collide in the cache.
+  std::vector<double> cdf(pool.size());
+  double z = 0;
+  for (std::size_t k = 0; k < pool.size(); ++k) {
+    z += 1.0 / std::pow(static_cast<double>(k + 1), 1.2);
+    cdf[k] = z;
+  }
+  Rng rng(20260727);
+  std::vector<service::TuningQuery> mix;
+  mix.reserve(n_queries);
+  for (int i = 0; i < n_queries; ++i) {
+    const double u = rng.uniform() * z;
+    const std::size_t k = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    service::TuningQuery q;
+    q.scenario = pool[std::min(k, pool.size() - 1)];
+    q.scenario.requirements.l_max *= 1.0 + 1e-13 * rng.uniform(-1.0, 1.0);
+    q.protocols = protocols;
+    mix.push_back(std::move(q));
+  }
+
+  // --- served path -------------------------------------------------------
+  service::ServiceOptions opts;
+  opts.engine.threads = threads;
+  opts.engine.parallel = threads > 1;
+  service::TuningService service(opts);
+
+  const double t0 = now_ms();
+  std::vector<service::Ticket> tickets;
+  tickets.reserve(mix.size());
+  for (const auto& q : mix) tickets.push_back(service.submit(q));
+  std::vector<Expected<service::TuningResult>> served;
+  served.reserve(tickets.size());
+  for (const auto& t : tickets) served.push_back(service.wait(t));
+  const double served_ms = now_ms() - t0;
+
+  const auto stats = service.stats();
+  const double qps_served = 1e3 * n_queries / served_ms;
+  const double dedup_rate =
+      stats.planner.protocol_queries
+          ? 1.0 - static_cast<double>(stats.planner.solved) /
+                      static_cast<double>(stats.planner.protocol_queries)
+          : 0.0;
+  std::printf("served : %8.1f ms  (%.0f queries/s, hit rate %.3f, "
+              "dedup %.3f, %zu solves in %zu chains, p50 %.2f ms, "
+              "p95 %.2f ms)\n",
+              served_ms, qps_served, stats.cache.hit_rate(), dedup_rate,
+              stats.planner.solved, stats.planner.sweep_jobs, stats.p50_ms,
+              stats.p95_ms);
+
+  // --- cold path (subsample, no cache, no batching) ----------------------
+  service::ServiceOptions cold_opts = opts;
+  cold_opts.cache_capacity = 0;
+  cold_opts.max_batch = 1;
+  service::TuningService cold(cold_opts);
+
+  const double t1 = now_ms();
+  for (int i = 0; i < cold_sample; ++i) {
+    auto r = cold.query(mix[static_cast<std::size_t>(i)]);
+    if (!r.ok()) {
+      std::printf("COLD QUERY FAILED: %s\n", r.error().to_string().c_str());
+      return 1;
+    }
+  }
+  const double cold_ms = now_ms() - t1;
+  const double qps_cold = 1e3 * cold_sample / cold_ms;
+  const double speedup = qps_served / qps_cold;
+  std::printf("cold   : %8.1f ms for %d queries (%.1f queries/s, "
+              "no cache, no batching)\n",
+              cold_ms, cold_sample, qps_cold);
+  std::printf("speedup: %.1fx\n", speedup);
+
+  // --- cross-check: served results must equal a cold sequential sweep ----
+  int mismatches = 0;
+  const auto canonical = service::canonical_protocol_set(protocols).value();
+  for (int k = 0; k < std::min(distinct, 4); ++k) {
+    // Noisy twins collide onto one canonical key; the cache's entry was
+    // solved with the *first* such query's exact bits, so that
+    // representative is what the cold path must reproduce bit-for-bit.
+    const auto pool_key = service::query_key(pool[k], canonical, {});
+    const service::TuningResult* r = nullptr;
+    const core::Scenario* rep = nullptr;
+    for (std::size_t i = 0; i < mix.size() && !r; ++i) {
+      if (served[i].ok() && served[i]->key == pool_key) {
+        r = &served[i].value();
+        rep = &mix[i].scenario;
+      }
+    }
+    if (!r) continue;
+    for (const auto& po : r->per_protocol) {
+      auto model = mac::make_model(po.protocol, rep->context).take();
+      auto sweep = core::run_sweep(*model, rep->requirements,
+                                   core::SweepKind::kLmax,
+                                   {rep->requirements.l_max});
+      const auto& cell = sweep.cells[0];
+      if (cell.feasible() != po.feasible()) {
+        std::printf("FEASIBILITY MISMATCH rank %d %s\n", k,
+                    po.protocol.c_str());
+        ++mismatches;
+        continue;
+      }
+      if (cell.feasible() &&
+          (cell.outcome->nbs.energy != po.outcome->nbs.energy ||
+           cell.outcome->nbs.latency != po.outcome->nbs.latency)) {
+        std::printf("VALUE MISMATCH rank %d %s\n", k, po.protocol.c_str());
+        ++mismatches;
+      }
+    }
+  }
+  std::printf("cross-check vs cold core::run_sweep: %s\n",
+              mismatches == 0 ? "identical" : "MISMATCH");
+
+  bench::BenchJson json;
+  json.integer("queries", n_queries);
+  json.integer("distinct_scenarios", distinct);
+  json.integer("protocols_per_query", static_cast<long long>(protocols.size()));
+  json.integer("threads", threads);
+  json.number("served_ms", served_ms);
+  json.number("qps_served", qps_served);
+  json.number("hit_rate", stats.cache.hit_rate());
+  json.number("dedup_rate", dedup_rate);
+  json.integer("solved_cells", static_cast<long long>(stats.planner.solved));
+  json.integer("sweep_chains",
+               static_cast<long long>(stats.planner.sweep_jobs));
+  json.number("p50_ms", stats.p50_ms);
+  json.number("p95_ms", stats.p95_ms);
+  json.integer("cold_sample", cold_sample);
+  json.number("cold_ms", cold_ms);
+  json.number("qps_cold", qps_cold);
+  json.number("speedup_vs_cold", speedup);
+  json.integer("mismatches", mismatches);
+  json.write_file("BENCH_service.json");
+
+  return mismatches == 0 ? 0 : 1;
+}

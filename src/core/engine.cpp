@@ -1,5 +1,8 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <optional>
 #include <utility>
 
@@ -64,14 +67,18 @@ ScenarioEngine::~ScenarioEngine() = default;
 
 Expected<BargainingOutcome> ScenarioEngine::solve_one(
     const mac::AnalyticMacModel& model, const AppRequirements& req,
-    const SolveHints& hints) const {
+    double alpha, const SolveHints& hints) const {
   // `model` is already memo-wrapped by the caller when opts_.memoize is on.
   EnergyDelayGame game(model, req);
-  return game.solve(hints);
+  // solve_weighted(0.5, ...) is exactly solve(...), so the default alpha
+  // keeps the historical path.
+  return game.solve_weighted(alpha, hints);
 }
 
 SweepResult ScenarioEngine::sweep_skeleton(const SweepJob& job) const {
   EDB_ASSERT(job.model != nullptr, "sweep job needs a model");
+  EDB_ASSERT(job.alpha > 0.0 && job.alpha < 1.0,
+             "bargaining power must lie in (0, 1)");
   EDB_ASSERT(!job.values.empty(), "sweep needs at least one value");
   for (std::size_t i = 0; i < job.values.size(); ++i) {
     EDB_ASSERT(job.values[i] > 0, "sweep values must be positive");
@@ -99,8 +106,8 @@ SweepResult ScenarioEngine::sweep_skeleton(const SweepJob& job) const {
 // feasibility is monotone along the sweep.  The chain exploits that: a
 // binary search over the cells locates the feasibility frontier with
 // O(log n) cold probes, everything below the frontier is marked infeasible
-// without being solved (it inherits the reason of the highest probed
-// infeasible cell), and the warm chain runs from the frontier up.
+// without being solved (reasons derived from the protocol envelope, see
+// below), and the warm chain runs from the frontier up.
 // dual_solve makes warm and cold solves of the same cell agree bit-for-bit
 // (see its path-independence contract), so the mix of probe outcomes and
 // warm-chain outcomes is invisible in the results.
@@ -111,15 +118,9 @@ void ScenarioEngine::sweep_chain(const SweepJob& job,
   auto& cells = result.cells;
   const std::size_t n = cells.size();
 
-  std::string inferred_reason;
-  std::size_t highest_infeasible_probe = 0;
   auto probe = [&](std::size_t j) {
     SolveHints cold;
     solve_cell(*m, job, cells[j], cold);
-    if (!cells[j].feasible() && j >= highest_infeasible_probe) {
-      highest_infeasible_probe = j;
-      inferred_reason = cells[j].infeasible_reason;
-    }
     return cells[j].feasible();
   };
 
@@ -140,11 +141,25 @@ void ScenarioEngine::sweep_chain(const SweepJob& job,
     frontier = hi;
   }
 
-  // Cells below the frontier are infeasible by monotonicity.
+  // Cells below the frontier are infeasible by monotonicity.  Probed cells
+  // carry the solver's own reason; the unsolved ones get theirs derived
+  // from the protocol envelope — two threshold comparisons replaying the
+  // cold pipeline's P1 -> P2 -> P3 failure order, so the strings match a
+  // cold sweep's without a solve per dead cell.  Feasibility slacks are
+  // strict (margin > 0), hence the >= comparisons.
+  std::optional<ProtocolEnvelope> env;
   for (std::size_t j = 0; j < frontier && j < n; ++j) {
-    if (!cells[j].feasible() && cells[j].infeasible_reason.empty()) {
-      cells[j].infeasible_reason = inferred_reason;
-    }
+    if (cells[j].feasible() || !cells[j].infeasible_reason.empty()) continue;
+    if (!env) env = protocol_envelope(*m);
+    AppRequirements req = job.base;
+    (job.kind == SweepKind::kLmax ? req.l_max : req.e_budget) =
+        cells[j].value;
+    Error reason = env->l_min >= req.l_max
+                       ? p1_infeasible_error(m->name())
+                       : env->e_min >= req.e_budget
+                             ? p2_infeasible_error(m->name())
+                             : p3_infeasible_error(m->name());
+    cells[j].infeasible_reason = reason.to_string();
   }
 
   // Warm chain from the frontier.  Probed cells at or above the frontier
@@ -170,7 +185,7 @@ void ScenarioEngine::solve_cell(const mac::AnalyticMacModel& model,
   } else {
     req.e_budget = cell.value;
   }
-  auto outcome = solve_one(model, req, hints);
+  auto outcome = solve_one(model, req, job.alpha, hints);
   if (outcome.ok()) {
     if (opts_.warm_start) {
       hints = SolveHints{outcome->p1.x, outcome->p2.x, outcome->nbs.x,
@@ -193,9 +208,66 @@ std::vector<Expected<BargainingOutcome>> ScenarioEngine::solve_batch(
   executor_->run(jobs.size(), [&](std::size_t i) {
     EDB_ASSERT(jobs[i].model != nullptr, "solve job needs a model");
     MemoScope scope(*jobs[i].model, opts_.memoize);
-    out[i] = solve_one(*scope.model, jobs[i].req, SolveHints{});
+    out[i] = solve_one(*scope.model, jobs[i].req, jobs[i].alpha,
+                       SolveHints{});
   });
   return out;
+}
+
+SweepPlan plan_point_queries(const std::vector<PointQuery>& queries) {
+  SweepPlan plan;
+  plan.slots.resize(queries.size());
+
+  // A group is one future sweep chain: same model, same budget, same
+  // bargaining power, Lmax free.  Keys compare the exact bit patterns —
+  // canonicalizing "nearly equal" requirements is the service key layer's
+  // job (service/key.h), not the planner's.
+  struct GroupKey {
+    const mac::AnalyticMacModel* model;
+    std::uint64_t budget_bits;
+    std::uint64_t alpha_bits;
+    bool operator==(const GroupKey&) const = default;
+  };
+  auto key_of = [](const PointQuery& q) {
+    std::uint64_t b, a;
+    std::memcpy(&b, &q.req.e_budget, sizeof b);
+    std::memcpy(&a, &q.alpha, sizeof a);
+    return GroupKey{q.model, b, a};
+  };
+
+  // First-appearance order keeps the plan deterministic in the input.
+  std::vector<GroupKey> keys;
+  std::vector<std::size_t> group_of(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EDB_ASSERT(queries[i].model != nullptr, "point query needs a model");
+    const GroupKey k = key_of(queries[i]);
+    std::size_t g = 0;
+    while (g < keys.size() && !(keys[g] == k)) ++g;
+    if (g == keys.size()) {
+      keys.push_back(k);
+      plan.jobs.push_back(SweepJob{queries[i].model, queries[i].req,
+                                   SweepKind::kLmax, {},
+                                   queries[i].alpha});
+    }
+    group_of[i] = g;
+    plan.jobs[g].values.push_back(queries[i].req.l_max);
+  }
+
+  for (auto& job : plan.jobs) {
+    std::sort(job.values.begin(), job.values.end());
+    job.values.erase(std::unique(job.values.begin(), job.values.end()),
+                     job.values.end());
+  }
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& values = plan.jobs[group_of[i]].values;
+    const auto it = std::lower_bound(values.begin(), values.end(),
+                                     queries[i].req.l_max);
+    plan.slots[i] = SweepSlot{
+        group_of[i],
+        static_cast<std::size_t>(std::distance(values.begin(), it))};
+  }
+  return plan;
 }
 
 SweepResult ScenarioEngine::run_sweep(const SweepJob& job) {

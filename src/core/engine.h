@@ -29,9 +29,18 @@
 // configured {.parallel = false, .warm_start = false, .memoize = false}
 // is exactly what core::run_sweep runs, and every other configuration
 // produces bit-identical feasibility flags and outcomes over the same
-// cells.  (One caveat: a warm chain does not solve the cells below the
-// feasibility frontier individually, so their infeasible_reason strings
-// are inherited from a probed cell rather than derived per cell.)
+// cells.  A warm chain does not solve the cells below the feasibility
+// frontier individually; their infeasible_reason strings are derived per
+// cell from the protocol envelope (min reachable E and L, see
+// core/game_framework.h) by replaying the cold pipeline's P1 -> P2 -> P3
+// failure order as two threshold comparisons, so warm and cold sweeps
+// report identical strings without paying a solve per dead cell.  (The
+// envelope and the cold solver are independent optimisers, so a sweep
+// value landing within solver tolerance of an envelope threshold can in
+// principle read the comparison differently than the cold pipeline
+// decided it; the paper's grids sit orders of magnitude away from the
+// thresholds.  Feasibility flags and outcomes are never affected — only
+// the reason string of an unsolved dead cell.)
 #pragma once
 
 #include <functional>
@@ -84,9 +93,12 @@ struct EngineOptions {
 };
 
 // One independent bargaining solve.  The model must outlive the call.
+// alpha is the energy player's bargaining power (solve_weighted); the
+// default 0.5 is the paper's symmetric solve.
 struct SolveJob {
   const mac::AnalyticMacModel* model = nullptr;
   AppRequirements req;
+  double alpha = 0.5;
 };
 
 // One requirement sweep (core/sweep.h semantics: positive ascending
@@ -96,7 +108,37 @@ struct SweepJob {
   AppRequirements base;
   SweepKind kind = SweepKind::kLmax;
   std::vector<double> values;
+  double alpha = 0.5;
 };
+
+// One protocol-model + requirement-pair question: the unit the service
+// layer's batch planner deals in (service/planner.h).
+struct PointQuery {
+  const mac::AnalyticMacModel* model = nullptr;
+  AppRequirements req;
+  double alpha = 0.5;
+};
+
+// Where a point query's answer lives inside a planned batch: cell `cell`
+// of jobs[job].
+struct SweepSlot {
+  std::size_t job = 0;
+  std::size_t cell = 0;
+};
+
+struct SweepPlan {
+  std::vector<SweepJob> jobs;
+  std::vector<SweepSlot> slots;  // slots[i] answers queries[i]
+};
+
+// Groups point queries into warm-startable sweep chains: queries sharing a
+// model, a budget and a bargaining power differ only in Lmax, which is
+// exactly the shape sweep_chain accelerates (ascending values, monotone
+// frontier, seeded neighbours, one memo cache).  Duplicate queries
+// collapse onto one cell.  Grouping is deterministic (groups in
+// first-appearance order, values ascending) and value-preserving: each
+// cell is solved exactly as a sweep over the same values would solve it.
+SweepPlan plan_point_queries(const std::vector<PointQuery>& queries);
 
 class ScenarioEngine {
  public:
@@ -126,6 +168,7 @@ class ScenarioEngine {
  private:
   Expected<BargainingOutcome> solve_one(const mac::AnalyticMacModel& model,
                                         const AppRequirements& req,
+                                        double alpha,
                                         const SolveHints& hints) const;
   SweepResult sweep_skeleton(const SweepJob& job) const;
   // Warm-started whole-sweep evaluation (frontier search + seed chain).

@@ -169,6 +169,53 @@ Expected<opt::VectorResult> dual_solve(
 
 }  // namespace
 
+Error p1_infeasible_error(std::string_view protocol) {
+  return make_error(ErrorCode::kInfeasible,
+                    std::string(protocol) +
+                        " (P1): no parameter setting meets Lmax");
+}
+
+Error p2_infeasible_error(std::string_view protocol) {
+  return make_error(ErrorCode::kInfeasible,
+                    std::string(protocol) +
+                        " (P2): no parameter setting meets the budget");
+}
+
+Error p3_infeasible_error(std::string_view protocol) {
+  return make_error(
+      ErrorCode::kInfeasible,
+      std::string(protocol) +
+          " (P3): no operating point satisfies both the energy budget "
+          "and the delay bound");
+}
+
+ProtocolEnvelope protocol_envelope(const mac::AnalyticMacModel& model) {
+  const opt::Box box = model_box(model);
+  std::vector<opt::Constraint> margin = {
+      [&model](const std::vector<double>& x) {
+        return model.feasibility_margin(x);
+      },
+  };
+  // The same lattice family as dual_solve's stage 1, refined a little
+  // deeper: the envelope feeds threshold comparisons against sweep values,
+  // not optimisation, so ~1e-6-of-the-box accuracy is ample.
+  const opt::GridOptions grid_opts{.points_per_dim = 65, .rounds = 8,
+                                   .zoom = 0.15};
+  ProtocolEnvelope env;
+  auto e = opt::grid_refine_min(
+      fenced([&model](const std::vector<double>& x) { return model.energy(x); },
+             margin),
+      box, grid_opts);
+  auto l = opt::grid_refine_min(
+      fenced(
+          [&model](const std::vector<double>& x) { return model.latency(x); },
+          margin),
+      box, grid_opts);
+  env.e_min = std::isfinite(e.value) ? e.value : kInf;
+  env.l_min = std::isfinite(l.value) ? l.value : kInf;
+  return env;
+}
+
 double BargainingOutcome::energy_gain_ratio() const {
   const double denom = e_best() - e_worst();
   if (std::abs(denom) < 1e-300) return 0.0;
@@ -215,9 +262,7 @@ Expected<OperatingPoint> EnergyDelayGame::solve_p1(
   };
   auto r = dual_solve(obj, slacks, box, seed, trusted);
   if (!r.ok()) {
-    return make_error(ErrorCode::kInfeasible,
-                      std::string(model_.name()) +
-                          " (P1): no parameter setting meets Lmax");
+    return p1_infeasible_error(model_.name());
   }
   return make_point(r->x);
 }
@@ -242,9 +287,7 @@ Expected<OperatingPoint> EnergyDelayGame::solve_p2(
   };
   auto r = dual_solve(obj, slacks, box, seed, trusted);
   if (!r.ok()) {
-    return make_error(ErrorCode::kInfeasible,
-                      std::string(model_.name()) +
-                          " (P2): no parameter setting meets the budget");
+    return p2_infeasible_error(model_.name());
   }
   return make_point(r->x);
 }
@@ -333,11 +376,7 @@ Expected<BargainingOutcome> EnergyDelayGame::solve_weighted(
       out.nash_product = 0.0;
       return out;
     }
-    return make_error(
-        ErrorCode::kInfeasible,
-        std::string(model_.name()) +
-            " (P3): no operating point satisfies both the energy budget "
-            "and the delay bound");
+    return p3_infeasible_error(model_.name());
   }
 
   out.nbs = make_point(r->x);

@@ -72,6 +72,26 @@ struct SolveHints {
   bool empty() const { return p1.empty() && p2.empty() && nbs.empty(); }
 };
 
+// The pipeline's infeasibility errors, exposed as builders so the scenario
+// engine can derive below-frontier reasons (core/engine.h) byte-identical
+// to the strings a cold solve would attach.
+Error p1_infeasible_error(std::string_view protocol);
+Error p2_infeasible_error(std::string_view protocol);
+Error p3_infeasible_error(std::string_view protocol);
+
+// Requirement-independent protocol envelope: the smallest energy and
+// latency reachable anywhere inside the protocol's own feasible set
+// (feasibility_margin > 0), ignoring the application requirements.  (P1)
+// is infeasible exactly when l_min >= Lmax and (P2) exactly when
+// e_min >= Ebudget, so the envelope turns per-cell infeasibility reasons
+// into two comparisons.  Computed with the same zooming-grid family as
+// dual_solve's coarse scan — no full bargaining solve.
+struct ProtocolEnvelope {
+  double e_min = 0;  // min E(X) over the margin-feasible set [J]
+  double l_min = 0;  // min L(X) over the margin-feasible set [s]
+};
+ProtocolEnvelope protocol_envelope(const mac::AnalyticMacModel& model);
+
 class EnergyDelayGame {
  public:
   // The model must outlive the game.

@@ -34,6 +34,15 @@ std::vector<std::string> paper_protocols() {
   return {"X-MAC", "DMAC", "LMAC"};
 }
 
+Expected<std::string> resolve_protocol(std::string_view name) {
+  const std::string key = canonical(name);
+  for (const std::string& registered : registered_protocols()) {
+    if (canonical(registered) == key) return registered;
+  }
+  return make_error(ErrorCode::kNotFound,
+                    "unknown MAC protocol: " + std::string(name));
+}
+
 Expected<std::unique_ptr<AnalyticMacModel>> make_model(std::string_view name,
                                                        ModelContext ctx) {
   const std::string key = canonical(name);

@@ -22,6 +22,12 @@ std::vector<std::string> registered_protocols();
 // The three protocols the paper evaluates.
 std::vector<std::string> paper_protocols();
 
+// Resolves a spelling ("xmac", "X MAC") to the registered display name
+// ("X-MAC") under the same matching rule make_model uses — the single
+// source of that rule, so callers that key on names (service/key.h)
+// cannot drift from the factory.  kNotFound for unknown protocols.
+Expected<std::string> resolve_protocol(std::string_view name);
+
 // Instantiates a model with default protocol configuration over `ctx`.
 Expected<std::unique_ptr<AnalyticMacModel>> make_model(std::string_view name,
                                                        ModelContext ctx);

@@ -1,0 +1,89 @@
+#include "service/cache.h"
+
+#include <algorithm>
+
+namespace edb::service {
+
+ShardedResultCache::ShardedResultCache(std::size_t capacity,
+                                       std::size_t shards)
+    : shards_(std::max<std::size_t>(1, shards)), capacity_(capacity) {
+  // Spread the budget; the remainder goes to the first shards so the
+  // total matches `capacity` exactly (when capacity >= shard count).
+  const std::size_t n = shards_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_[i].capacity = capacity / n + (i < capacity % n ? 1 : 0);
+    if (capacity > 0 && shards_[i].capacity == 0) shards_[i].capacity = 1;
+  }
+}
+
+ShardedResultCache::Shard& ShardedResultCache::shard_of(const QueryKey& key) {
+  // The low bits feed the per-shard hash map; use the high bits here so
+  // the two partitions are independent.
+  return shards_[(key.hash >> 32) % shards_.size()];
+}
+
+std::optional<ProtocolOutcome> ShardedResultCache::get(const QueryKey& key) {
+  if (capacity_ == 0) return std::nullopt;
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key.canonical);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  ++s.hits;
+  return it->second->value;
+}
+
+void ShardedResultCache::put(const QueryKey& key, ProtocolOutcome value) {
+  if (capacity_ == 0) return;
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key.canonical);
+  if (it != s.index.end()) {
+    it->second->value = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.push_front(Entry{key.canonical, std::move(value)});
+  s.index.emplace(key.canonical, s.lru.begin());
+  while (s.lru.size() > s.capacity) {
+    s.index.erase(s.lru.back().canonical);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+CacheStats ShardedResultCache::stats() const {
+  CacheStats out;
+  out.capacity = capacity_;
+  out.shards = shards_.size();
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.entries += s.lru.size();
+  }
+  return out;
+}
+
+std::size_t ShardedResultCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    n += s.lru.size();
+  }
+  return n;
+}
+
+void ShardedResultCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.lru.clear();
+    s.index.clear();
+  }
+}
+
+}  // namespace edb::service

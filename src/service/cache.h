@@ -1,0 +1,98 @@
+// Sharded LRU cache of per-protocol tuning results.
+//
+// Keys are canonical QueryKeys (service/key.h); the 64-bit hash picks one
+// of N shards, each shard is an independent LRU list + hash map under its
+// own mutex, so concurrent readers on different shards never contend.
+// Infeasible outcomes are cached too ("negative caching"): proving
+// infeasibility costs a full solve, and a scenario that cannot be served
+// stays that way until the inputs change.
+//
+// Value preservation is by construction: the cache stores exactly what the
+// engine computed, keyed so that only canonically identical queries can
+// hit, so a served result is bit-identical to a fresh solve of the same
+// canonical inputs (the acceptance property of service/planner.h).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/game_framework.h"
+#include "service/key.h"
+
+namespace edb::service {
+
+// One protocol's answer at one scenario: the engine's sweep-cell payload
+// minus the swept value (service/planner.h assembles these into
+// TuningResults).
+struct ProtocolOutcome {
+  std::string protocol;  // registered display name
+  std::optional<core::BargainingOutcome> outcome;
+  std::string infeasible_reason;  // set when !outcome
+
+  bool feasible() const { return outcome.has_value(); }
+};
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+  std::size_t shards = 0;
+
+  double hit_rate() const {
+    const std::size_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class ShardedResultCache {
+ public:
+  // `capacity` is the total entry budget, spread evenly across `shards`
+  // (each shard holds at least one entry).  capacity == 0 disables the
+  // cache entirely: every get misses, every put is dropped — the bench's
+  // "no-cache path".
+  explicit ShardedResultCache(std::size_t capacity, std::size_t shards = 16);
+
+  ShardedResultCache(const ShardedResultCache&) = delete;
+  ShardedResultCache& operator=(const ShardedResultCache&) = delete;
+
+  // Copies the entry out and marks it most recently used.
+  std::optional<ProtocolOutcome> get(const QueryKey& key);
+  // Inserts or refreshes; evicts the shard's least recently used entries
+  // over capacity.
+  void put(const QueryKey& key, ProtocolOutcome value);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::string canonical;
+    ProtocolOutcome value;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::size_t capacity = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+  };
+
+  Shard& shard_of(const QueryKey& key);
+
+  std::vector<Shard> shards_;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace edb::service

@@ -1,0 +1,130 @@
+#include "service/key.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mac/registry.h"
+
+namespace edb::service {
+namespace {
+
+// Accumulates "name=token;" pairs and finishes into a QueryKey.
+class KeyBuilder {
+ public:
+  KeyBuilder& field(std::string_view name, double v) {
+    return field(name, quantize_token(v));
+  }
+  KeyBuilder& field(std::string_view name, int v) {
+    return field(name, std::to_string(v));
+  }
+  KeyBuilder& field(std::string_view name, std::string_view token) {
+    canonical_.append(name);
+    canonical_.push_back('=');
+    canonical_.append(token);
+    canonical_.push_back(';');
+    return *this;
+  }
+  QueryKey build() && {
+    QueryKey key;
+    key.hash = fnv1a64(canonical_);
+    key.canonical = std::move(canonical_);
+    return key;
+  }
+
+ private:
+  std::string canonical_;
+};
+
+void append_context(KeyBuilder& b, const mac::ModelContext& ctx) {
+  const net::RadioParams& r = ctx.radio;
+  b.field("radio.p_tx", r.p_tx)
+      .field("radio.p_rx", r.p_rx)
+      .field("radio.p_sleep", r.p_sleep)
+      .field("radio.bitrate", r.bitrate)
+      .field("radio.t_startup", r.t_startup)
+      .field("radio.t_turnaround", r.t_turnaround)
+      .field("radio.t_cca", r.t_cca);
+  const net::PacketFormat& p = ctx.packet;
+  b.field("packet.payload", p.payload_bytes)
+      .field("packet.header", p.header_bytes)
+      .field("packet.ack", p.ack_bytes)
+      .field("packet.strobe", p.strobe_bytes)
+      .field("packet.ctrl", p.ctrl_bytes)
+      .field("packet.sync", p.sync_bytes);
+  b.field("ring.depth", ctx.ring.depth)
+      .field("ring.density", ctx.ring.density)
+      .field("fs", ctx.fs)
+      .field("energy_epoch", ctx.energy_epoch);
+}
+
+void append_scenario(KeyBuilder& b, const core::Scenario& s,
+                     const QueryOptions& opts) {
+  append_context(b, s.context);
+  b.field("req.e_budget", s.requirements.e_budget)
+      .field("req.l_max", s.requirements.l_max)
+      .field("opts.alpha", opts.alpha);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string quantize_token(double v) {
+  if (v == 0.0) v = 0.0;  // fold -0 into +0
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9e", v);
+  return buf;
+}
+
+Expected<std::vector<std::string>> canonical_protocol_set(
+    const std::vector<std::string>& protocols) {
+  if (protocols.empty()) return mac::paper_protocols();
+  std::vector<std::string> out;
+  for (const auto& name : protocols) {
+    // The registry's own spelling rule, so a name accepted here is a name
+    // make_model accepts.
+    auto resolved = mac::resolve_protocol(name);
+    if (!resolved.ok()) return resolved.error();
+    out.push_back(std::move(resolved).take());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+QueryKey context_key(const mac::ModelContext& ctx) {
+  KeyBuilder b;
+  append_context(b, ctx);
+  return std::move(b).build();
+}
+
+QueryKey protocol_key(const core::Scenario& scenario,
+                      std::string_view protocol, const QueryOptions& opts) {
+  KeyBuilder b;
+  append_scenario(b, scenario, opts);
+  b.field("protocol", protocol);
+  return std::move(b).build();
+}
+
+QueryKey query_key(const core::Scenario& scenario,
+                   const std::vector<std::string>& canonical_protocols,
+                   const QueryOptions& opts) {
+  KeyBuilder b;
+  append_scenario(b, scenario, opts);
+  std::string set;
+  for (const auto& p : canonical_protocols) {
+    if (!set.empty()) set.push_back(',');
+    set.append(p);
+  }
+  b.field("protocols", set);
+  return std::move(b).build();
+}
+
+}  // namespace edb::service

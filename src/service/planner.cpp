@@ -1,0 +1,150 @@
+#include "service/planner.h"
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "mac/registry.h"
+
+namespace edb::service {
+namespace {
+
+// One distinct cache miss: a (scenario, protocol, options) question plus
+// every (query, protocol-slot) pair waiting for its answer.
+struct Miss {
+  QueryKey key;
+  std::string protocol;
+  const TuningQuery* query = nullptr;  // representative (canonical twin)
+  std::vector<std::pair<std::size_t, std::size_t>> sinks;
+};
+
+int pick_recommended(const TuningResult& result, double e_budget) {
+  int best = -1;
+  double best_headroom = 0;
+  for (std::size_t i = 0; i < result.per_protocol.size(); ++i) {
+    const auto& p = result.per_protocol[i];
+    if (!p.feasible()) continue;
+    const double headroom = e_budget - p.outcome->nbs.energy;
+    if (best < 0 || headroom > best_headroom) {
+      best = static_cast<int>(i);
+      best_headroom = headroom;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+BatchPlanner::BatchPlanner(core::ScenarioEngine& engine,
+                           ShardedResultCache& cache)
+    : engine_(engine), cache_(cache) {}
+
+std::vector<Expected<TuningResult>> BatchPlanner::run(
+    const std::vector<TuningQuery>& queries) {
+  ++stats_.batches;
+  stats_.queries += queries.size();
+
+  std::vector<Expected<TuningResult>> out(
+      queries.size(),
+      Expected<TuningResult>(make_error(ErrorCode::kInternal, "not planned")));
+  std::vector<TuningResult> partial(queries.size());
+  std::vector<bool> failed(queries.size(), false);
+
+  // Stage 1+2: resolve keys, drain the cache, coalesce in-batch repeats.
+  std::vector<Miss> misses;
+  std::unordered_map<std::string, std::size_t> miss_index;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const TuningQuery& q = queries[qi];
+    auto valid = q.scenario.validate();
+    if (!valid.ok()) {
+      out[qi] = valid.error();
+      failed[qi] = true;
+      continue;
+    }
+    if (!(q.options.alpha > 0.0 && q.options.alpha < 1.0)) {
+      // Reject here rather than letting the engine's assertion abort the
+      // dispatcher: a malformed query is the caller's error, not ours.
+      out[qi] = make_error(ErrorCode::kInvalidArgument,
+                           "bargaining power alpha must lie in (0, 1)");
+      failed[qi] = true;
+      continue;
+    }
+    auto protocols = canonical_protocol_set(q.protocols);
+    if (!protocols.ok()) {
+      out[qi] = protocols.error();
+      failed[qi] = true;
+      continue;
+    }
+    partial[qi].key = query_key(q.scenario, *protocols, q.options);
+    partial[qi].per_protocol.resize(protocols->size());
+    for (std::size_t pi = 0; pi < protocols->size(); ++pi) {
+      const std::string& name = (*protocols)[pi];
+      const QueryKey key = protocol_key(q.scenario, name, q.options);
+      ++stats_.protocol_queries;
+      if (auto cached = cache_.get(key)) {
+        ++stats_.cache_hits;
+        partial[qi].per_protocol[pi] = std::move(*cached);
+        continue;
+      }
+      const auto it = miss_index.find(key.canonical);
+      if (it != miss_index.end()) {
+        ++stats_.coalesced;
+        misses[it->second].sinks.emplace_back(qi, pi);
+        continue;
+      }
+      miss_index.emplace(key.canonical, misses.size());
+      misses.push_back(Miss{key, name, &q, {{qi, pi}}});
+    }
+  }
+
+  // Stage 3: build one model per distinct (deployment, protocol), group
+  // the misses into warm-startable sweep chains and fan them through the
+  // engine.
+  if (!misses.empty()) {
+    std::vector<std::unique_ptr<mac::AnalyticMacModel>> models;
+    std::unordered_map<std::string, std::size_t> model_index;
+    std::vector<core::PointQuery> points;
+    points.reserve(misses.size());
+    for (const Miss& m : misses) {
+      const std::string model_key =
+          context_key(m.query->scenario.context).canonical + m.protocol;
+      auto it = model_index.find(model_key);
+      if (it == model_index.end()) {
+        // The protocol name came out of the registry, so this cannot fail.
+        models.push_back(
+            mac::make_model(m.protocol, m.query->scenario.context).take());
+        it = model_index.emplace(model_key, models.size() - 1).first;
+      }
+      points.push_back(core::PointQuery{models[it->second].get(),
+                                        m.query->scenario.requirements,
+                                        m.query->options.alpha});
+    }
+
+    core::SweepPlan plan = core::plan_point_queries(points);
+    auto results = engine_.run_sweeps(plan.jobs);
+    stats_.sweep_jobs += plan.jobs.size();
+    for (const auto& r : results) stats_.solved += r.cells.size();
+
+    // Stage 4: install and scatter.
+    for (std::size_t mi = 0; mi < misses.size(); ++mi) {
+      const core::SweepSlot slot = plan.slots[mi];
+      const core::SweepCell& cell = results[slot.job].cells[slot.cell];
+      ProtocolOutcome po{misses[mi].protocol, cell.outcome,
+                         cell.infeasible_reason};
+      cache_.put(misses[mi].key, po);
+      for (const auto& [qi, pi] : misses[mi].sinks) {
+        partial[qi].per_protocol[pi] = po;
+      }
+    }
+  }
+
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    if (failed[qi]) continue;
+    partial[qi].recommended =
+        pick_recommended(partial[qi], queries[qi].scenario.requirements.e_budget);
+    out[qi] = std::move(partial[qi]);
+  }
+  return out;
+}
+
+}  // namespace edb::service

@@ -1,0 +1,80 @@
+// Batch planner: the tuning service's miss pipeline.
+//
+// A batch of queries goes through four deterministic stages:
+//
+//   1. resolve  — validate the scenario, canonicalize the protocol set,
+//                 derive one cache key per (query, protocol);
+//   2. dedup    — look every key up in the sharded cache; among the
+//                 misses, coalesce keys that repeat within the batch so
+//                 each distinct question is solved exactly once;
+//   3. group    — hand the remaining distinct misses to
+//                 core::plan_point_queries, which folds queries differing
+//                 only in Lmax into warm-startable sweep chains, and fan
+//                 the resulting jobs through the scenario engine;
+//   4. install  — write every solved outcome into the cache and scatter it
+//                 to all the queries that asked.
+//
+// Serving results are bit-identical to a cold sequential core::run_sweep
+// over the same canonical inputs: the cache is value-preserving by
+// construction (service/cache.h) and the engine's warm chains are
+// bit-identical to its cold path (core/engine.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/cache.h"
+#include "service/key.h"
+
+namespace edb::service {
+
+// One serving question: which protocol and operating point fit this
+// deployment?  An empty protocol list means the paper's three.
+struct TuningQuery {
+  core::Scenario scenario;
+  std::vector<std::string> protocols;
+  QueryOptions options;
+};
+
+struct TuningResult {
+  QueryKey key;  // canonical whole-query key (service/key.h)
+  std::vector<ProtocolOutcome> per_protocol;  // canonical protocol order
+  // Index into per_protocol of the recommended protocol — the feasible
+  // agreement with the largest energy headroom (Ebudget - E*), the
+  // ranking of examples/protocol_selection.  -1 when nothing is feasible.
+  int recommended = -1;
+};
+
+struct PlannerStats {
+  std::size_t batches = 0;
+  std::size_t queries = 0;
+  std::size_t protocol_queries = 0;  // (query, protocol) lookups
+  std::size_t cache_hits = 0;
+  std::size_t coalesced = 0;   // within-batch duplicate lookups
+  std::size_t solved = 0;      // cells actually solved by the engine
+  std::size_t sweep_jobs = 0;  // warm chains those cells were grouped into
+};
+
+class BatchPlanner {
+ public:
+  // Both must outlive the planner.
+  BatchPlanner(core::ScenarioEngine& engine, ShardedResultCache& cache);
+
+  // Answers one batch; slot i answers queries[i].  Per-query errors
+  // (invalid scenario, unknown protocol) come back in the slot, not as a
+  // batch failure.  Not thread-safe: callers serialize batches (the
+  // service's dispatcher thread does).
+  std::vector<Expected<TuningResult>> run(
+      const std::vector<TuningQuery>& queries);
+
+  const PlannerStats& stats() const { return stats_; }
+
+ private:
+  core::ScenarioEngine& engine_;
+  ShardedResultCache& cache_;
+  PlannerStats stats_;
+};
+
+}  // namespace edb::service

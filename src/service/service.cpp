@@ -1,0 +1,203 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace edb::service {
+
+namespace internal {
+
+struct TicketState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::optional<Expected<TuningResult>> result;
+  std::chrono::steady_clock::time_point submitted;
+};
+
+}  // namespace internal
+
+namespace {
+
+using TicketPtr = std::shared_ptr<internal::TicketState>;
+
+struct Pending {
+  TuningQuery query;
+  TicketPtr ticket;
+};
+
+void fulfil(const TicketPtr& ticket, Expected<TuningResult> result) {
+  std::lock_guard<std::mutex> lock(ticket->mutex);
+  ticket->result.emplace(std::move(result));
+  ticket->done = true;
+  ticket->cv.notify_all();
+}
+
+}  // namespace
+
+struct TuningService::Impl {
+  explicit Impl(const ServiceOptions& opts)
+      : cache(opts.cache_capacity, opts.cache_shards),
+        engine(opts.engine),
+        planner(engine, cache),
+        max_batch(std::max<std::size_t>(1, opts.max_batch)) {
+    dispatcher = std::thread([this] { loop(); });
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopping = true;
+    }
+    wake.notify_all();
+    dispatcher.join();
+  }
+
+  void loop() {
+    for (;;) {
+      std::vector<Pending> batch;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty() && stopping) return;
+        while (!queue.empty() && batch.size() < max_batch) {
+          batch.push_back(std::move(queue.front()));
+          queue.pop_front();
+        }
+      }
+
+      std::vector<TuningQuery> queries;
+      queries.reserve(batch.size());
+      for (const Pending& p : batch) queries.push_back(p.query);
+      auto results = planner.run(queries);
+
+      const auto now = std::chrono::steady_clock::now();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        planner_snapshot = planner.stats();
+        for (const Pending& p : batch) {
+          latency.record(
+              std::chrono::duration<double>(now - p.ticket->submitted)
+                  .count());
+        }
+        completed += batch.size();
+      }
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        fulfil(batch[i].ticket, std::move(results[i]));
+      }
+    }
+  }
+
+  ShardedResultCache cache;
+  core::ScenarioEngine engine;
+  BatchPlanner planner;
+  const std::size_t max_batch;
+
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::deque<Pending> queue;
+  bool stopping = false;
+
+  mutable std::mutex stats_mutex;
+  PlannerStats planner_snapshot;
+  LatencyHistogram latency;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+
+  std::thread dispatcher;
+};
+
+TuningService::TuningService(ServiceOptions opts)
+    : opts_(opts), impl_(std::make_unique<Impl>(opts)) {}
+
+TuningService::~TuningService() = default;
+
+Ticket TuningService::submit(TuningQuery q) {
+  Ticket t;
+  t.state_ = std::make_shared<internal::TicketState>();
+  t.state_->submitted = std::chrono::steady_clock::now();
+  {
+    // Count before enqueueing: once the queue lock drops the dispatcher
+    // may complete the query, and stats() must never see
+    // completed > submitted.
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    ++impl_->submitted;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    EDB_ASSERT(!impl_->stopping, "submit on a stopping service");
+    impl_->queue.push_back(Pending{std::move(q), t.state_});
+  }
+  impl_->wake.notify_one();
+  return t;
+}
+
+bool TuningService::poll(const Ticket& t) const {
+  EDB_ASSERT(t.valid(), "poll on an empty ticket");
+  std::lock_guard<std::mutex> lock(t.state_->mutex);
+  return t.state_->done;
+}
+
+Expected<TuningResult> TuningService::wait(const Ticket& t) const {
+  EDB_ASSERT(t.valid(), "wait on an empty ticket");
+  std::unique_lock<std::mutex> lock(t.state_->mutex);
+  t.state_->cv.wait(lock, [&] { return t.state_->done; });
+  return *t.state_->result;
+}
+
+Expected<TuningResult> TuningService::query(const TuningQuery& q) {
+  return wait(submit(q));
+}
+
+std::vector<Expected<TuningResult>> TuningService::query_batch(
+    const std::vector<TuningQuery>& qs) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(qs.size());
+  const auto now = std::chrono::steady_clock::now();
+  {
+    // Count before enqueueing (see submit()).
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    impl_->submitted += qs.size();
+  }
+  {
+    // One lock for the whole vector: the dispatcher wakes to the full
+    // batch, so the planner dedups and groups across it.
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    EDB_ASSERT(!impl_->stopping, "query_batch on a stopping service");
+    for (const TuningQuery& q : qs) {
+      Ticket t;
+      t.state_ = std::make_shared<internal::TicketState>();
+      t.state_->submitted = now;
+      impl_->queue.push_back(Pending{q, t.state_});
+      tickets.push_back(std::move(t));
+    }
+  }
+  impl_->wake.notify_one();
+
+  std::vector<Expected<TuningResult>> out;
+  out.reserve(tickets.size());
+  for (const Ticket& t : tickets) out.push_back(wait(t));
+  return out;
+}
+
+ServiceStats TuningService::stats() const {
+  ServiceStats out;
+  out.cache = impl_->cache.stats();
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  out.planner = impl_->planner_snapshot;
+  out.submitted = impl_->submitted;
+  out.completed = impl_->completed;
+  out.in_flight = impl_->submitted - impl_->completed;
+  out.latency_samples = impl_->latency.count();
+  out.p50_ms = impl_->latency.quantile(0.50) * 1e3;
+  out.p95_ms = impl_->latency.quantile(0.95) * 1e3;
+  return out;
+}
+
+}  // namespace edb::service

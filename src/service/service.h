@@ -1,0 +1,103 @@
+// Front door of the tuning service: the paper's question — "which MAC
+// protocol and operating point should this deployment run?" — served as
+// queries instead of ad-hoc figure drivers.
+//
+// Synchronous callers use query()/query_batch(); asynchronous callers
+// submit() a query, keep the Ticket, and poll()/wait() for the result.
+//
+// Threading model: a single dispatcher thread owns the scenario engine and
+// the batch planner (the engine's deterministic thread pool must not be
+// entered concurrently; parallelism on the miss path comes from the
+// engine fanning sweep chains across its own pool).  Submitters enqueue
+// work and block on their tickets.  The dispatcher drains the queue in
+// arrival order, up to `max_batch` queries per planner invocation, so
+// concurrent submitters get cross-request dedup and warm-chain grouping
+// for free — the batch planner is the same whether one caller sends a
+// vector or ten callers race.
+//
+// Stats() snapshots cache hit/miss/eviction counters, planner grouping
+// counters, in-flight depth and p50/p95 serving latency (submit -> done,
+// util/latency.h).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/cache.h"
+#include "service/planner.h"
+#include "util/latency.h"
+
+namespace edb::service {
+
+struct ServiceOptions {
+  core::EngineOptions engine;         // miss-path engine configuration
+  std::size_t cache_capacity = 4096;  // protocol outcomes; 0 = no caching
+  std::size_t cache_shards = 16;
+  std::size_t max_batch = 64;  // queries per planner invocation
+};
+
+struct ServiceStats {
+  CacheStats cache;
+  PlannerStats planner;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t in_flight = 0;
+  std::size_t latency_samples = 0;
+  double p50_ms = 0;  // serving latency percentiles, submit -> done
+  double p95_ms = 0;
+};
+
+namespace internal {
+struct TicketState;
+}
+
+// Handle to one in-flight (or finished) query.  Copyable; all copies
+// refer to the same submission.
+class Ticket {
+ public:
+  Ticket() = default;
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class TuningService;
+  std::shared_ptr<internal::TicketState> state_;
+};
+
+class TuningService {
+ public:
+  explicit TuningService(ServiceOptions opts = {});
+  // Drains the queue: already-submitted queries finish, then the
+  // dispatcher exits.
+  ~TuningService();
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  // Synchronous serving (submit + wait under the hood, so sync and async
+  // callers share one ordered pipeline).
+  Expected<TuningResult> query(const TuningQuery& q);
+  // The whole vector is enqueued atomically, so the planner sees it as
+  // one batch and dedups/groups across it.
+  std::vector<Expected<TuningResult>> query_batch(
+      const std::vector<TuningQuery>& qs);
+
+  // Asynchronous serving.
+  Ticket submit(TuningQuery q);
+  // True once the ticket's result is ready (never blocks).
+  bool poll(const Ticket& t) const;
+  // Blocks until ready, then returns a copy of the result (wait may be
+  // called repeatedly, from any thread).
+  Expected<TuningResult> wait(const Ticket& t) const;
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  struct Impl;
+  ServiceOptions opts_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace edb::service

@@ -1,0 +1,69 @@
+#include "util/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace edb {
+
+LatencyHistogram::LatencyHistogram() {
+  // 5 buckets per decade over [1e-6, 1e2] s, i.e. bounds 1e-6 * 10^(i/5).
+  // One underflow bucket below 1 µs and one overflow bucket above 100 s.
+  constexpr int kDecades = 8;
+  constexpr int kPerDecade = 5;
+  upper_.push_back(1e-6);
+  for (int i = 1; i <= kDecades * kPerDecade; ++i) {
+    upper_.push_back(1e-6 * std::pow(10.0, static_cast<double>(i) /
+                                               kPerDecade));
+  }
+  counts_.assign(upper_.size() + 1, 0);  // +1: overflow
+}
+
+void LatencyHistogram::record(double seconds) {
+  const double v = std::max(0.0, seconds);
+  const auto it = std::lower_bound(upper_.begin(), upper_.end(), v);
+  counts_[static_cast<std::size_t>(it - upper_.begin())]++;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  sum_ += v;
+  ++count_;
+}
+
+double LatencyHistogram::min() const { return count_ ? min_ : 0.0; }
+
+double LatencyHistogram::max() const { return count_ ? max_ : 0.0; }
+
+double LatencyHistogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  EDB_ASSERT(q >= 0.0 && q <= 1.0, "quantile wants q in [0, 1]");
+  if (count_ == 0) return 0.0;
+  // Rank of the wanted sample (1-based), then walk the cumulative counts.
+  const double rank =
+      std::max(1.0, std::ceil(q * static_cast<double>(count_)));
+  std::size_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    if (static_cast<double>(cum + counts_[b]) < rank) {
+      cum += counts_[b];
+      continue;
+    }
+    const double lo = b == 0 ? 0.0 : upper_[b - 1];
+    const double hi = b < upper_.size() ? upper_[b] : max_;
+    const double frac = (rank - static_cast<double>(cum)) /
+                        static_cast<double>(counts_[b]);
+    return std::clamp(lo + (hi - lo) * frac, min(), max());
+  }
+  return max_;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  min_ = max_ = sum_ = 0;
+}
+
+}  // namespace edb

@@ -1,0 +1,44 @@
+// Fixed-footprint latency histogram for service statistics.
+//
+// The tuning service (service/service.h) reports p50/p95 serving latency
+// without retaining per-request samples: buckets are geometric from 1 µs
+// to 100 s (5 per decade) plus an underflow and an overflow bucket, so
+// record() is O(#buckets) worst case and a quantile estimate needs no
+// stored data.  Quantiles interpolate linearly inside the winning bucket
+// and are clamped to the observed min/max — plenty for dashboard-grade
+// p50/p95 numbers.  Not thread-safe; callers hold their own lock.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace edb {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  // Records one latency sample [s].  Negative samples clamp to zero.
+  void record(double seconds);
+
+  std::size_t count() const { return count_; }
+  double min() const;    // smallest recorded sample [s]; 0 when empty
+  double max() const;    // largest recorded sample [s]; 0 when empty
+  double total() const { return sum_; }  // sum of samples [s]
+  double mean() const;   // 0 when empty
+
+  // Quantile estimate [s] for q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  std::vector<double> upper_;       // bucket i covers (upper_[i-1], upper_[i]]
+  std::vector<std::size_t> counts_;
+  std::size_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace edb

@@ -163,6 +163,132 @@ TEST_F(EngineTest, UntrustedSeedMatchesColdSolve) {
   EXPECT_EQ(seeded->nash_product, cold->nash_product);
 }
 
+TEST_F(EngineTest, WarmChainInfeasibleReasonsMatchColdPerCell) {
+  // LMAC has an infeasible prefix over a fine Lmax grid, so the warm
+  // chain's frontier search leaves unprobed dead cells whose reasons are
+  // derived from the protocol envelope rather than solved.  They must
+  // still be byte-identical to the cold path's solver-produced strings.
+  std::vector<double> values;
+  for (int i = 0; i < 12; ++i) values.push_back(1.0 + 5.0 * i / 11.0);
+  SweepJob job{models_[1].get(), scenario_.requirements, SweepKind::kLmax,
+               values};
+  ScenarioEngine warm(sequential_opts(true, true));
+  ScenarioEngine cold(sequential_opts(false, false));
+  auto w = warm.run_sweep(job);
+  auto c = cold.run_sweep(job);
+  ASSERT_EQ(w.cells.size(), c.cells.size());
+  for (std::size_t i = 0; i < w.cells.size(); ++i) {
+    ASSERT_EQ(w.cells[i].feasible(), c.cells[i].feasible()) << "cell " << i;
+    EXPECT_EQ(w.cells[i].infeasible_reason, c.cells[i].infeasible_reason)
+        << "cell " << i;
+  }
+}
+
+TEST_F(EngineTest, AllInfeasibleSweepDerivesMixedReasons) {
+  // A starvation budget makes every cell infeasible, but not for one
+  // reason: tight-Lmax cells die at (P1) before the budget is even
+  // consulted, the rest die at (P2).  The warm chain probes only the two
+  // ends, so the middle cells' reasons are all derived — and must match
+  // the cold path's cell for cell.
+  AppRequirements req = scenario_.requirements;
+  req.e_budget = 1e-4;
+  // LMAC's envelope floor is l_min ~ 0.135 s: the first two cells sit
+  // below it (P1 territory), the rest above (P2 territory).
+  std::vector<double> values = {0.05, 0.1, 0.5, 1.5, 3.0, 4.5, 6.0};
+  SweepJob job{models_[1].get(), req, SweepKind::kLmax, values};
+  ScenarioEngine warm(sequential_opts(true, true));
+  ScenarioEngine cold(sequential_opts(false, false));
+  auto w = warm.run_sweep(job);
+  auto c = cold.run_sweep(job);
+  std::size_t p1_cells = 0, p2_cells = 0;
+  for (std::size_t i = 0; i < w.cells.size(); ++i) {
+    ASSERT_FALSE(c.cells[i].feasible()) << "cell " << i;
+    ASSERT_FALSE(w.cells[i].feasible()) << "cell " << i;
+    EXPECT_EQ(w.cells[i].infeasible_reason, c.cells[i].infeasible_reason)
+        << "cell " << i;
+    if (c.cells[i].infeasible_reason.find("(P1)") != std::string::npos) {
+      ++p1_cells;
+    }
+    if (c.cells[i].infeasible_reason.find("(P2)") != std::string::npos) {
+      ++p2_cells;
+    }
+  }
+  // The scenario really exercises both failure modes.
+  EXPECT_GT(p1_cells, 0u);
+  EXPECT_GT(p2_cells, 0u);
+}
+
+TEST(PlanPointQueriesTest, GroupsBudgetSiblingsIntoSweeps) {
+  Scenario scenario = Scenario::paper_default();
+  auto xmac = mac::make_model("X-MAC", scenario.context).take();
+  auto dmac = mac::make_model("DMAC", scenario.context).take();
+
+  auto req_at = [&](double l_max, double budget) {
+    AppRequirements r = scenario.requirements;
+    r.l_max = l_max;
+    r.e_budget = budget;
+    return r;
+  };
+  std::vector<PointQuery> queries = {
+      {xmac.get(), req_at(5.0, 0.06)},  // group A
+      {dmac.get(), req_at(5.0, 0.06)},  // group B (other model)
+      {xmac.get(), req_at(3.0, 0.06)},  // group A
+      {xmac.get(), req_at(3.0, 0.05)},  // group C (other budget)
+      {xmac.get(), req_at(5.0, 0.06)},  // duplicate of [0]
+      {xmac.get(), req_at(4.0, 0.06), 0.7},  // group D (other alpha)
+  };
+  const SweepPlan plan = plan_point_queries(queries);
+  ASSERT_EQ(plan.jobs.size(), 4u);
+  ASSERT_EQ(plan.slots.size(), queries.size());
+
+  // Group A: X-MAC at budget 0.06 with Lmax {3, 5}, ascending.
+  EXPECT_EQ(plan.jobs[0].model, xmac.get());
+  EXPECT_EQ(plan.jobs[0].kind, SweepKind::kLmax);
+  EXPECT_EQ(plan.jobs[0].values, (std::vector<double>{3.0, 5.0}));
+  EXPECT_EQ(plan.jobs[0].base.e_budget, 0.06);
+
+  EXPECT_EQ(plan.jobs[1].model, dmac.get());
+  EXPECT_EQ(plan.jobs[2].base.e_budget, 0.05);
+  EXPECT_EQ(plan.jobs[3].alpha, 0.7);
+
+  // Slots point every query at its cell; the duplicate shares one.
+  EXPECT_EQ(plan.slots[0].job, 0u);
+  EXPECT_EQ(plan.slots[0].cell, 1u);  // Lmax 5 is the second ascending value
+  EXPECT_EQ(plan.slots[2].job, 0u);
+  EXPECT_EQ(plan.slots[2].cell, 0u);
+  EXPECT_EQ(plan.slots[4].job, plan.slots[0].job);
+  EXPECT_EQ(plan.slots[4].cell, plan.slots[0].cell);
+  EXPECT_EQ(plan.slots[1].job, 1u);
+  EXPECT_EQ(plan.slots[3].job, 2u);
+  EXPECT_EQ(plan.slots[5].job, 3u);
+}
+
+TEST(PlanPointQueriesTest, PlannedCellsSolveLikeAStandaloneSweep) {
+  Scenario scenario = Scenario::paper_default();
+  auto model = mac::make_model("X-MAC", scenario.context).take();
+  std::vector<PointQuery> queries;
+  for (double l : {4.0, 6.0, 5.0}) {
+    AppRequirements r = scenario.requirements;
+    r.l_max = l;
+    queries.push_back(PointQuery{model.get(), r});
+  }
+  const SweepPlan plan = plan_point_queries(queries);
+  ASSERT_EQ(plan.jobs.size(), 1u);
+
+  ScenarioEngine engine(sequential_opts(true, true));
+  auto results = engine.run_sweeps(plan.jobs);
+  auto reference = run_sweep(*model, scenario.requirements, SweepKind::kLmax,
+                             {4.0, 5.0, 6.0});
+  ASSERT_EQ(results[0].cells.size(), reference.cells.size());
+  for (std::size_t i = 0; i < reference.cells.size(); ++i) {
+    ASSERT_TRUE(reference.cells[i].feasible());
+    EXPECT_EQ(results[0].cells[i].outcome->nbs.energy,
+              reference.cells[i].outcome->nbs.energy);
+    EXPECT_EQ(results[0].cells[i].outcome->nbs.latency,
+              reference.cells[i].outcome->nbs.latency);
+  }
+}
+
 TEST(MemoizedModelTest, TransparentAndCaching) {
   Scenario scenario = Scenario::paper_default();
   auto model = mac::make_model("X-MAC", scenario.context).take();

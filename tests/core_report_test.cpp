@@ -1,0 +1,142 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/math.h"
+#include "util/si.h"
+
+namespace edb::core {
+namespace {
+
+// A hand-built sweep result: no solver involved, so the test pins the
+// rendering, not the pipeline.
+SweepResult sample_result() {
+  SweepResult r;
+  r.protocol = "X-MAC";
+  r.kind = SweepKind::kLmax;
+  r.base = AppRequirements{.e_budget = 0.06, .l_max = 6.0};
+
+  auto outcome_at = [](double e, double l) {
+    BargainingOutcome o;
+    o.p1 = OperatingPoint{{0.1}, e * 0.8, l * 1.5};   // (Ebest, Lworst)
+    o.p2 = OperatingPoint{{0.4}, e * 1.6, l * 0.5};   // (Eworst, Lbest)
+    o.nbs = OperatingPoint{{0.2}, e, l};
+    o.nash_product = (o.e_worst() - e) * (o.l_worst() - l);
+    return o;
+  };
+
+  SweepCell dead;
+  dead.value = 1.0;
+  dead.infeasible_reason =
+      "infeasible: X-MAC (P1): no parameter setting meets Lmax";
+  r.cells.push_back(dead);
+
+  SweepCell a;
+  a.value = 2.0;
+  a.outcome = outcome_at(0.0123456789, 0.987654321);
+  r.cells.push_back(a);
+
+  SweepCell b;
+  b.value = 6.0;
+  b.outcome = outcome_at(0.0234567891, 1.23456789);
+  r.cells.push_back(b);
+  return r;
+}
+
+std::vector<std::vector<std::string>> csv_rows(const SweepResult& r) {
+  std::ostringstream out;
+  write_sweep_csv(r, out);
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    rows.push_back(parse_csv_line(line));
+  }
+  return rows;
+}
+
+TEST(ReportCsvTest, HeaderMatchesSchema) {
+  const auto rows = csv_rows(sample_result());
+  ASSERT_FALSE(rows.empty());
+  const std::vector<std::string> expected = {
+      "protocol", "sweep",    "value",    "feasible", "e_star_J",
+      "l_star_ms", "e_best_J", "e_worst_J", "l_best_ms", "l_worst_ms",
+      "gain_e",   "gain_l"};
+  EXPECT_EQ(rows[0], expected);
+}
+
+TEST(ReportCsvTest, OneRowPerCellAndFlagFidelity) {
+  const auto result = sample_result();
+  const auto rows = csv_rows(result);
+  ASSERT_EQ(rows.size(), result.cells.size() + 1);  // header + cells
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const auto& row = rows[i + 1];
+    ASSERT_EQ(row.size(), rows[0].size()) << "ragged row " << i;
+    EXPECT_EQ(row[0], "X-MAC");
+    EXPECT_EQ(row[1], "Lmax");
+    EXPECT_EQ(row[3], result.cells[i].feasible() ? "1" : "0");
+  }
+}
+
+TEST(ReportCsvTest, ValuesRoundTripThroughTheReader) {
+  const auto result = sample_result();
+  const auto rows = csv_rows(result);
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const auto& cell = result.cells[i];
+    const auto& row = rows[i + 1];
+    EXPECT_EQ(std::strtod(row[2].c_str(), nullptr), cell.value);
+    if (!cell.feasible()) {
+      // Infeasible rows leave every numeric column empty.
+      for (std::size_t c = 4; c < row.size(); ++c) {
+        EXPECT_TRUE(row[c].empty()) << "column " << c;
+      }
+      continue;
+    }
+    const auto& o = *cell.outcome;
+    // %.10g loses nothing a double-parse can't recover at 1e-9 relative.
+    EXPECT_LT(rel_diff(std::strtod(row[4].c_str(), nullptr), o.nbs.energy),
+              1e-9);
+    EXPECT_LT(rel_diff(std::strtod(row[5].c_str(), nullptr),
+                       to_ms(o.nbs.latency)),
+              1e-9);
+    EXPECT_LT(rel_diff(std::strtod(row[6].c_str(), nullptr), o.e_best()),
+              1e-9);
+    EXPECT_LT(rel_diff(std::strtod(row[7].c_str(), nullptr), o.e_worst()),
+              1e-9);
+    EXPECT_LT(rel_diff(std::strtod(row[8].c_str(), nullptr),
+                       to_ms(o.l_best())),
+              1e-9);
+    EXPECT_LT(rel_diff(std::strtod(row[9].c_str(), nullptr),
+                       to_ms(o.l_worst())),
+              1e-9);
+    EXPECT_LT(rel_diff(std::strtod(row[10].c_str(), nullptr),
+                       o.energy_gain_ratio()),
+              1e-9);
+    EXPECT_LT(rel_diff(std::strtod(row[11].c_str(), nullptr),
+                       o.latency_gain_ratio()),
+              1e-9);
+  }
+}
+
+TEST(ReportTableTest, TableAndSummarySmoke) {
+  const auto result = sample_result();
+  std::ostringstream table;
+  print_sweep_table(result, table);
+  EXPECT_NE(table.str().find("E* [J]"), std::string::npos);
+  EXPECT_NE(table.str().find("infeasible"), std::string::npos);
+
+  std::ostringstream summary;
+  print_sweep_summary(result, summary);
+  EXPECT_NE(summary.str().find("X-MAC"), std::string::npos);
+  EXPECT_NE(summary.str().find("2/3 cells feasible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edb::core

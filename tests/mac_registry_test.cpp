@@ -38,6 +38,22 @@ TEST(Registry, UnknownProtocolReportsNotFound) {
   EXPECT_EQ(model.error().code, ErrorCode::kNotFound);
 }
 
+TEST(Registry, ResolveProtocolAgreesWithMakeModel) {
+  // resolve_protocol is the exported spelling rule: anything it accepts,
+  // make_model instantiates under the same display name — and vice versa.
+  for (const char* alias :
+       {"xmac", "X-MAC", "x_mac", "scp mac", "WISEMAC", "dmac"}) {
+    auto resolved = resolve_protocol(alias);
+    ASSERT_TRUE(resolved.ok()) << alias;
+    auto model = make_model(alias, ModelContext{});
+    ASSERT_TRUE(model.ok()) << alias;
+    EXPECT_EQ(*resolved, (*model)->name()) << alias;
+  }
+  auto unknown = resolve_protocol("T-MAC");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.error().code, ErrorCode::kNotFound);
+}
+
 TEST(Registry, ModelsUseTheProvidedContext) {
   ModelContext ctx;
   ctx.ring.depth = 3;

@@ -1,0 +1,141 @@
+#include "service/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace edb::service {
+namespace {
+
+QueryKey key_of(const std::string& canonical) {
+  QueryKey k;
+  k.canonical = canonical;
+  k.hash = fnv1a64(canonical);
+  return k;
+}
+
+ProtocolOutcome feasible_outcome(const std::string& protocol, double energy) {
+  ProtocolOutcome po;
+  po.protocol = protocol;
+  core::BargainingOutcome o;
+  o.nbs.energy = energy;
+  o.nbs.latency = 1.0;
+  po.outcome = o;
+  return po;
+}
+
+TEST(ShardedCacheTest, PutGetRoundTrip) {
+  ShardedResultCache cache(8, 2);
+  const auto k = key_of("q1");
+  EXPECT_FALSE(cache.get(k).has_value());
+  cache.put(k, feasible_outcome("X-MAC", 0.01));
+  auto hit = cache.get(k);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->protocol, "X-MAC");
+  EXPECT_EQ(hit->outcome->nbs.energy, 0.01);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.shards, 2u);
+}
+
+TEST(ShardedCacheTest, InfeasibleOutcomesAreCachedToo) {
+  ShardedResultCache cache(4, 1);
+  ProtocolOutcome po;
+  po.protocol = "LMAC";
+  po.infeasible_reason = "infeasible: LMAC (P1): no parameter setting meets Lmax";
+  cache.put(key_of("dead"), po);
+  auto hit = cache.get(key_of("dead"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->feasible());
+  EXPECT_EQ(hit->infeasible_reason, po.infeasible_reason);
+}
+
+TEST(ShardedCacheTest, LruEvictionOrder) {
+  // One shard, two slots: touching A must sacrifice B, not A.
+  ShardedResultCache cache(2, 1);
+  cache.put(key_of("A"), feasible_outcome("X-MAC", 1));
+  cache.put(key_of("B"), feasible_outcome("X-MAC", 2));
+  EXPECT_TRUE(cache.get(key_of("A")).has_value());  // A most recent
+  cache.put(key_of("C"), feasible_outcome("X-MAC", 3));
+
+  EXPECT_TRUE(cache.get(key_of("A")).has_value());
+  EXPECT_FALSE(cache.get(key_of("B")).has_value());
+  EXPECT_TRUE(cache.get(key_of("C")).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ShardedCacheTest, PutRefreshesExistingEntry) {
+  ShardedResultCache cache(2, 1);
+  cache.put(key_of("A"), feasible_outcome("X-MAC", 1));
+  cache.put(key_of("B"), feasible_outcome("X-MAC", 2));
+  cache.put(key_of("A"), feasible_outcome("X-MAC", 10));  // refresh, no grow
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get(key_of("A"))->outcome->nbs.energy, 10.0);
+  cache.put(key_of("C"), feasible_outcome("X-MAC", 3));
+  EXPECT_FALSE(cache.get(key_of("B")).has_value());  // B was the LRU
+}
+
+TEST(ShardedCacheTest, ZeroCapacityDisables) {
+  ShardedResultCache cache(0, 4);
+  cache.put(key_of("A"), feasible_outcome("X-MAC", 1));
+  EXPECT_FALSE(cache.get(key_of("A")).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);  // disabled, not missing
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ShardedCacheTest, CapacitySpreadsAcrossShards) {
+  // 10 across 4 shards: 3+3+2+2, every shard at least one.
+  ShardedResultCache cache(10, 4);
+  for (int i = 0; i < 100; ++i) {
+    cache.put(key_of("k" + std::to_string(i)), feasible_outcome("X-MAC", i));
+  }
+  EXPECT_LE(cache.size(), 10u);
+  EXPECT_GE(cache.size(), 4u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(ShardedCacheTest, ClearEmptiesEveryShard) {
+  ShardedResultCache cache(16, 4);
+  for (int i = 0; i < 12; ++i) {
+    cache.put(key_of("k" + std::to_string(i)), feasible_outcome("X-MAC", i));
+  }
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(key_of("k3")).has_value());
+}
+
+TEST(ShardedCacheTest, ConcurrentHammer) {
+  ShardedResultCache cache(64, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const auto k = key_of("k" + std::to_string((t * 7 + i) % 100));
+        if (i % 3 == 0) {
+          cache.put(k, feasible_outcome("X-MAC", i));
+        } else {
+          cache.get(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto stats = cache.stats();
+  // Every get either hit or missed; nothing was lost or double-counted.
+  const std::size_t gets_per_thread = kOps - (kOps + 2) / 3;  // i % 3 != 0
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * gets_per_thread);
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace edb::service

@@ -1,0 +1,121 @@
+#include "service/key.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace edb::service {
+namespace {
+
+core::Scenario base() { return core::Scenario::paper_default(); }
+
+TEST(QuantizeTest, FloatNoiseCollides) {
+  EXPECT_EQ(quantize_token(0.06), quantize_token(0.06 * (1.0 + 1e-13)));
+  EXPECT_EQ(quantize_token(6.0), quantize_token(6.0 - 6e-13));
+  EXPECT_EQ(quantize_token(0.0), quantize_token(-0.0));
+}
+
+TEST(QuantizeTest, ValueDifferencesSurvive) {
+  EXPECT_NE(quantize_token(0.06), quantize_token(0.05));
+  EXPECT_NE(quantize_token(6.0), quantize_token(6.0001));
+  EXPECT_NE(quantize_token(1.0), quantize_token(-1.0));
+}
+
+TEST(Fnv1aTest, StableAndDiscriminating) {
+  // Pinned value: keys may be logged/persisted, so the hash must not
+  // drift across platforms or refactors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_EQ(fnv1a64("req.l_max=6;"), fnv1a64("req.l_max=6;"));
+}
+
+TEST(ProtocolSetTest, SpellingAndOrderInsensitive) {
+  auto a = canonical_protocol_set({"xmac", "DMAC"});
+  auto b = canonical_protocol_set({"D-MAC", "X-MAC"});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ((*a)[0], "DMAC");
+  EXPECT_EQ((*a)[1], "X-MAC");
+}
+
+TEST(ProtocolSetTest, DedupesAndDefaults) {
+  auto dup = canonical_protocol_set({"X-MAC", "xmac", "x mac"});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->size(), 1u);
+
+  auto def = canonical_protocol_set({});
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->size(), 3u);  // the paper's three
+}
+
+TEST(ProtocolSetTest, UnknownProtocolIsAnError) {
+  auto r = canonical_protocol_set({"T-MAC"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+}
+
+TEST(QueryKeyTest, NoiseEquivalentScenariosCollide) {
+  core::Scenario a = base();
+  core::Scenario b = base();
+  b.requirements.l_max *= 1.0 + 1e-13;
+  b.context.fs *= 1.0 - 1e-14;
+  EXPECT_EQ(protocol_key(a, "X-MAC", {}), protocol_key(b, "X-MAC", {}));
+}
+
+TEST(QueryKeyTest, ValueAffectingFieldsSplit) {
+  core::Scenario a = base();
+
+  core::Scenario req = base();
+  req.requirements.l_max = 5.0;
+  EXPECT_NE(protocol_key(a, "X-MAC", {}), protocol_key(req, "X-MAC", {}));
+
+  core::Scenario radio = base();
+  radio.context.radio.p_rx *= 1.01;
+  EXPECT_NE(protocol_key(a, "X-MAC", {}), protocol_key(radio, "X-MAC", {}));
+
+  core::Scenario ring = base();
+  ring.context.ring.depth = 6;
+  EXPECT_NE(protocol_key(a, "X-MAC", {}), protocol_key(ring, "X-MAC", {}));
+
+  EXPECT_NE(protocol_key(a, "X-MAC", {}), protocol_key(a, "DMAC", {}));
+  EXPECT_NE(protocol_key(a, "X-MAC", QueryOptions{0.5}),
+            protocol_key(a, "X-MAC", QueryOptions{0.7}));
+}
+
+TEST(QueryKeyTest, RadioDisplayNameDoesNotParticipate) {
+  core::Scenario a = base();
+  core::Scenario b = base();
+  b.context.radio.name = "same constants, different label";
+  EXPECT_EQ(protocol_key(a, "X-MAC", {}), protocol_key(b, "X-MAC", {}));
+}
+
+TEST(QueryKeyTest, WholeQueryKeyCoversProtocolSet) {
+  core::Scenario s = base();
+  const auto one = canonical_protocol_set({"X-MAC"}).value();
+  const auto two = canonical_protocol_set({"X-MAC", "DMAC"}).value();
+  EXPECT_NE(query_key(s, one, {}), query_key(s, two, {}));
+  EXPECT_EQ(query_key(s, two, {}),
+            query_key(s, canonical_protocol_set({"dmac", "xmac"}).value(),
+                      {}));
+}
+
+TEST(QueryKeyTest, CanonicalFormIsReadable) {
+  const auto key = protocol_key(base(), "X-MAC", {});
+  EXPECT_NE(key.canonical.find("req.l_max="), std::string::npos);
+  EXPECT_NE(key.canonical.find("protocol=X-MAC;"), std::string::npos);
+  EXPECT_EQ(key.hash, fnv1a64(key.canonical));
+}
+
+TEST(QueryKeyTest, ContextKeyIgnoresRequirements) {
+  core::Scenario a = base();
+  core::Scenario b = base();
+  b.requirements.l_max = 2.0;
+  EXPECT_EQ(context_key(a.context), context_key(b.context));
+  core::Scenario c = base();
+  c.context.fs *= 2.0;
+  EXPECT_NE(context_key(a.context), context_key(c.context));
+}
+
+}  // namespace
+}  // namespace edb::service
