@@ -4,7 +4,13 @@
 // into a plotting tool reproduces them visually.  Writes one CSV block per
 // protocol to stdout (or a file given as argv[1]).
 //
-//   $ ./pareto_explorer [output.csv] [threads]
+//   $ ./pareto_explorer [output.csv] [threads] [family] [index]
+//
+// The deployment comes from the scenario catalog (catalog/catalog.h):
+// by default `paper-baseline/0` (the paper's calibration), or any other
+// catalog entry named on the command line, e.g.
+//
+//   $ ./pareto_explorer lossy.csv 4 lossy-channel 3
 //
 // The per-protocol NBS points are independent solves, so they go through
 // the scenario engine as one batch (parallel across protocols when a
@@ -15,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "core/engine.h"
 #include "core/game_framework.h"
 #include "mac/registry.h"
@@ -34,8 +41,21 @@ int main(int argc, char** argv) {
   }
   std::ostream& out = file.is_open() ? file : std::cout;
   const int threads = argc > 2 ? std::atoi(argv[2]) : 1;
+  const char* family = argc > 3 ? argv[3] : "paper-baseline";
+  const std::size_t index =
+      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 0;
 
-  core::Scenario scenario = core::Scenario::paper_default();
+  const catalog::Catalog cat = catalog::Catalog::builtin();
+  if (cat.find(family) == nullptr) {
+    std::cerr << "unknown family " << family << "; available:\n";
+    for (const auto& f : cat.families()) {
+      std::cerr << "  " << f->name() << "\n";
+    }
+    return 1;
+  }
+  const auto entry = cat.expand(family, index, catalog::kDefaultSeed);
+  std::cerr << "scenario " << entry.id() << "\n";
+  const core::Scenario& scenario = entry.scenario;
   CsvWriter csv(out, {"protocol", "param_name", "param_value", "energy_J",
                       "latency_ms", "is_nbs_point"});
 

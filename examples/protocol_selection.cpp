@@ -6,7 +6,13 @@
 // agreements.  A protocol whose game is infeasible cannot satisfy the
 // application at all.
 //
-//   $ ./protocol_selection [Ebudget_J] [Lmax_s] [threads]
+//   $ ./protocol_selection [Ebudget_J] [Lmax_s] [threads] [family] [index]
+//
+// The deployment comes from the scenario catalog (catalog/catalog.h):
+// `paper-baseline/0` unless another catalog entry is named.  A numeric
+// Ebudget/Lmax argument overrides the entry's own requirement; "-" keeps
+// the entry's value (so catalog families whose axes are the requirements
+// stay visible: `./protocol_selection - - 4 tight-budget 3`).
 //
 // Every protocol's game is independent, so the candidates are solved as
 // one batch through the scenario engine (parallel across protocols when a
@@ -17,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "core/engine.h"
 #include "core/game_framework.h"
 #include "mac/registry.h"
@@ -25,15 +32,32 @@
 
 int main(int argc, char** argv) {
   using namespace edb;
-  core::Scenario scenario = core::Scenario::paper_default();
-  if (argc > 1) scenario.requirements.e_budget = std::atof(argv[1]);
-  if (argc > 2) scenario.requirements.l_max = std::atof(argv[2]);
+  const catalog::Catalog cat = catalog::Catalog::builtin();
+  const char* family = argc > 4 ? argv[4] : "paper-baseline";
+  const std::size_t index =
+      argc > 5 ? static_cast<std::size_t>(std::atoll(argv[5])) : 0;
+  if (cat.find(family) == nullptr) {
+    std::fprintf(stderr, "unknown family %s\n", family);
+    return 1;
+  }
+  core::Scenario scenario =
+      cat.expand(family, index, catalog::kDefaultSeed).scenario;
+  const auto is_skip = [](const char* arg) {
+    return arg[0] == '-' && arg[1] == '\0';
+  };
+  if (argc > 1 && !is_skip(argv[1])) {
+    scenario.requirements.e_budget = std::atof(argv[1]);
+  }
+  if (argc > 2 && !is_skip(argv[2])) {
+    scenario.requirements.l_max = std::atof(argv[2]);
+  }
   const int threads = argc > 3 ? std::atoi(argv[3]) : 1;
 
   std::printf("== Protocol selection ==\n");
-  std::printf("deployment   : D=%d rings, C=%g, fs=%g Hz (CC2420)\n",
-              scenario.context.ring.depth, scenario.context.ring.density,
-              scenario.context.fs);
+  std::printf("deployment   : %s/%zu — D=%d rings, C=%g, fs=%g Hz (%s)\n",
+              family, index, scenario.context.ring.depth,
+              scenario.context.ring.density, scenario.context.fs,
+              scenario.context.radio.name.c_str());
   std::printf("requirements : E <= %.3f J/epoch, L <= %.1f s\n\n",
               scenario.requirements.e_budget, scenario.requirements.l_max);
 

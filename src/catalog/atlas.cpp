@@ -1,0 +1,70 @@
+#include "catalog/atlas.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "util/csv.h"
+
+namespace edb::catalog {
+
+FamilyFrontier family_frontier(std::string_view family,
+                               const std::vector<AtlasPoint>& points) {
+  FamilyFrontier out;
+  out.family = std::string(family);
+  out.scenarios = points.size();
+
+  std::vector<AtlasPoint> feasible;
+  std::map<std::string, std::size_t> wins;
+  for (const auto& p : points) {
+    if (!p.feasible) continue;
+    feasible.push_back(p);
+    ++wins[p.protocol];
+  }
+  out.feasible = feasible.size();
+
+  // Dominance filter (minimise both axes); the catalog's point sets are
+  // small enough that the quadratic scan is immaterial.  Exact (E*, L*)
+  // ties — saturated requirement sweeps land many scenarios on one
+  // agreement point — keep only the lowest-indexed representative, so the
+  // frontier has one row per distinct operating point.
+  for (const auto& a : feasible) {
+    bool drop = false;
+    for (const auto& b : feasible) {
+      const bool tie = b.energy == a.energy && b.latency == a.latency;
+      if (tie ? b.index < a.index
+              : (b.energy <= a.energy && b.latency <= a.latency)) {
+        drop = true;
+        break;
+      }
+    }
+    if (!drop) out.frontier.push_back(a);
+  }
+  std::sort(out.frontier.begin(), out.frontier.end(),
+            [](const AtlasPoint& a, const AtlasPoint& b) {
+              return a.energy != b.energy ? a.energy < b.energy
+                                          : a.latency < b.latency;
+            });
+
+  out.wins.assign(wins.begin(), wins.end());
+  std::sort(out.wins.begin(), out.wins.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  return out;
+}
+
+void write_frontier_csv(std::ostream& out,
+                        const std::vector<FamilyFrontier>& frontiers) {
+  CsvWriter csv(out,
+                {"family", "index", "protocol", "energy_J", "latency_s"});
+  for (const auto& fam : frontiers) {
+    for (const auto& p : fam.frontier) {
+      csv.row({fam.family, std::to_string(p.index), p.protocol,
+               std::to_string(p.energy), std::to_string(p.latency)});
+    }
+  }
+}
+
+}  // namespace edb::catalog

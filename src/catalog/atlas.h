@@ -1,0 +1,55 @@
+// Frontier atlas over catalog query results.
+//
+// The atlas driver (bench/catalog_atlas.cpp) fans the whole catalog
+// through service::TuningService::query_batch; this header holds the
+// service-agnostic assembly: given each scenario's recommended operating
+// point, build per-family coverage records and Pareto frontiers over the
+// (E*, L*) plane — the catalog-wide analogue of the per-protocol
+// frontiers the paper's figures draw.  Keeping the assembly below the
+// service layer lets tests and future drivers (e.g. a sim-backed atlas)
+// reuse it without a TuningService in the loop.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace edb::catalog {
+
+// One scenario's serving answer, reduced to what the atlas plots: the
+// recommended protocol's agreement point.  `feasible == false` means no
+// registered protocol could satisfy the scenario's requirements.
+struct AtlasPoint {
+  std::size_t index = 0;  // scenario index within its family
+  bool feasible = false;
+  std::string protocol;  // recommended protocol (empty when infeasible)
+  double energy = 0;     // E* [J per epoch]
+  double latency = 0;    // L* [s]
+};
+
+struct FamilyFrontier {
+  std::string family;
+  std::size_t scenarios = 0;
+  std::size_t feasible = 0;
+  // Non-dominated subset of the feasible points (minimising both E* and
+  // L*), sorted by energy ascending.
+  std::vector<AtlasPoint> frontier;
+  // Recommended-protocol tallies over the feasible points, most wins
+  // first (ties by name).
+  std::vector<std::pair<std::string, std::size_t>> wins;
+};
+
+// Builds one family's record.  `points` must be this family's points, one
+// per expanded scenario (feasible or not).
+FamilyFrontier family_frontier(std::string_view family,
+                               const std::vector<AtlasPoint>& points);
+
+// CSV dump of every family's frontier (columns: family, index, protocol,
+// energy_J, latency_s) for plotting the atlas.
+void write_frontier_csv(std::ostream& out,
+                        const std::vector<FamilyFrontier>& frontiers);
+
+}  // namespace edb::catalog

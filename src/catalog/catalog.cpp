@@ -1,0 +1,250 @@
+#include "catalog/catalog.h"
+
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "util/error.h"
+
+namespace edb::catalog {
+namespace {
+
+// All built-in families are table-driven: a name, a blurb, a base size
+// and a generator closure.  Generators derive their axis values from the
+// index through fixed cycles (i % axis_len), so an index means the same
+// grid point at any catalog scale, and draw any jitter from the private
+// (family, index, seed) stream in a fixed order.
+class BuiltinFamily final : public ScenarioFamily {
+ public:
+  using Gen = std::function<void(std::size_t, Rng&, core::Scenario&,
+                                 SimProfile&)>;
+
+  BuiltinFamily(std::string name, std::string description, std::size_t size,
+                Gen gen)
+      : ScenarioFamily(std::move(name), std::move(description), size),
+        gen_(std::move(gen)) {}
+
+ protected:
+  void generate(std::size_t index, Rng& rng, core::Scenario& sc,
+                SimProfile& sim) const override {
+    gen_(index, rng, sc, sim);
+  }
+
+ private:
+  Gen gen_;
+};
+
+template <std::size_t N>
+double pick(const double (&axis)[N], std::size_t i) {
+  return axis[i % N];
+}
+
+template <std::size_t N>
+int pick_int(const int (&axis)[N], std::size_t i) {
+  return axis[i % N];
+}
+
+// Keeps the total sink load at the paper's ~200-node level while the
+// deployment grows, so the bottleneck physics stay comparable across a
+// size sweep (the scalability bench's convention).
+void load_constant_fs(core::Scenario& sc) {
+  sc.context.fs *= 200.0 / sc.context.ring.total_nodes();
+}
+
+std::size_t scaled(std::size_t base, double scale) {
+  const double s = base * scale;
+  return s < 1.0 ? 1 : static_cast<std::size_t>(std::llround(s));
+}
+
+}  // namespace
+
+Catalog Catalog::builtin(double scale) {
+  Catalog cat;
+  auto add = [&](std::string name, std::string description, std::size_t base,
+                 BuiltinFamily::Gen gen) {
+    cat.families_.push_back(std::make_unique<BuiltinFamily>(
+        std::move(name), std::move(description), scaled(base, scale),
+        std::move(gen)));
+  };
+
+  // The paper's own deployment across its two figure grids; index 0 is
+  // exactly Scenario::paper_default().
+  add("paper-baseline",
+      "paper calibration over the Fig. 1/2 requirement grids", 12,
+      [](std::size_t i, Rng&, core::Scenario& sc, SimProfile&) {
+        static const double lmax[] = {6, 5, 4, 3, 2, 1};
+        static const double budget[] = {0.06, 0.03};
+        sc.requirements.l_max = pick(lmax, i);
+        sc.requirements.e_budget = pick(budget, i / 6);
+      });
+
+  add("dense-ring", "high-density rings: overhearing-dominated regimes", 28,
+      [](std::size_t i, Rng& rng, core::Scenario& sc, SimProfile&) {
+        static const double density[] = {10, 12, 14, 16, 18, 20, 24};
+        static const int depth[] = {3, 5};
+        static const double lmax[] = {6, 4};
+        sc.context.ring.density = pick(density, i);
+        sc.context.ring.depth = pick_int(depth, i / 7);
+        sc.requirements.l_max = pick(lmax, i / 14);
+        sc.context.fs *= rng.uniform(0.5, 2.0);
+      });
+
+  add("sparse-ring", "sparse rings: few neighbours, little overhearing", 24,
+      [](std::size_t i, Rng& rng, core::Scenario& sc, SimProfile&) {
+        static const double density[] = {2, 3, 4, 5};
+        static const int depth[] = {4, 6, 8};
+        sc.context.ring.density = pick(density, i);
+        sc.context.ring.depth = pick_int(depth, i / 4);
+        sc.requirements.l_max = 1.4 * sc.context.ring.depth;
+        sc.context.fs *= rng.uniform(0.5, 2.0);
+      });
+
+  add("deep-chain", "multi-hop depth sweep at constant sink load", 24,
+      [](std::size_t i, Rng&, core::Scenario& sc, SimProfile&) {
+        static const int depth[] = {8, 10, 12, 14, 16, 20};
+        static const double density[] = {1, 2};
+        static const double lmax_per_hop[] = {1.4, 1.0};
+        sc.context.ring.depth = pick_int(depth, i);
+        sc.context.ring.density = pick(density, i / 6);
+        sc.requirements.l_max =
+            pick(lmax_per_hop, i / 12) * sc.context.ring.depth;
+        load_constant_fs(sc);
+      });
+
+  add("wide-tree", "shallow, very dense deployments under tight delay", 16,
+      [](std::size_t i, Rng& rng, core::Scenario& sc, SimProfile&) {
+        static const double density[] = {10, 15, 20, 25};
+        static const double lmax[] = {1.5, 3};
+        sc.context.ring.depth = 2;
+        sc.context.ring.density = pick(density, i);
+        sc.requirements.l_max = pick(lmax, i / 4);
+        sc.context.fs *= rng.uniform(0.8, 1.5);
+      });
+
+  add("periodic-lowrate", "periodic sensing across three rate decades", 24,
+      [](std::size_t i, Rng&, core::Scenario& sc, SimProfile&) {
+        static const double lmax[] = {2, 4, 6};
+        sc.context.fs = 1e-5 * std::pow(10.0, (i % 8) / 3.5);
+        sc.requirements.l_max = pick(lmax, i / 8);
+      });
+
+  add("poisson-traffic", "memoryless arrivals at the periodic mean rate", 16,
+      [](std::size_t i, Rng& rng, core::Scenario& sc, SimProfile& sim) {
+        static const double lmax[] = {3, 6};
+        sim.poisson_arrivals = true;
+        sc.context.fs *= rng.uniform(0.5, 4.0);
+        sc.requirements.l_max = pick(lmax, i / 8);
+      });
+
+  add("bursty-traffic", "clustered generation: high peak-to-mean ratios", 16,
+      [](std::size_t i, Rng& rng, core::Scenario& sc, SimProfile& sim) {
+        static const double burst[] = {4, 8, 16, 32};
+        static const double lmax[] = {2, 4};
+        sim.burst_factor = pick(burst, i);
+        sc.context.fs *= rng.uniform(1.0, 3.0);
+        sc.requirements.l_max = pick(lmax, i / 4);
+      });
+
+  // First-order analytic view of loss: every lost reception is
+  // retransmitted, so the sustained rate inflates by 1/(1-p); the exact
+  // drop probability rides along for simulator cross-checks.
+  add("lossy-channel", "fading/interference losses with retransmissions", 24,
+      [](std::size_t i, Rng&, core::Scenario& sc, SimProfile& sim) {
+        static const double loss[] = {0.01, 0.02, 0.05, 0.1, 0.15, 0.2};
+        static const int depth[] = {3, 5};
+        static const double budget[] = {0.06, 0.04};
+        sim.loss_probability = pick(loss, i);
+        sc.context.ring.depth = pick_int(depth, i / 6);
+        sc.requirements.e_budget = pick(budget, i / 12);
+        sc.context.fs /= 1.0 - sim.loss_probability;
+      });
+
+  add("clock-drift", "oscillator skew stressing schedule-based MACs", 16,
+      [](std::size_t i, Rng& rng, core::Scenario& sc, SimProfile& sim) {
+        static const double ppm[] = {10, 20, 50, 100};
+        sim.clock_drift_ppm = pick(ppm, i);
+        sc.context.fs *= rng.uniform(0.8, 1.25);
+      });
+
+  add("tight-budget", "energy-starved nodes across a budget decade", 24,
+      [](std::size_t i, Rng&, core::Scenario& sc, SimProfile&) {
+        static const double lmax[] = {4, 6, 8};
+        sc.requirements.e_budget = 0.006 * std::pow(10.0, (i % 8) / 7.0);
+        sc.requirements.l_max = pick(lmax, i / 8);
+      });
+
+  add("cc1000-legacy", "Mica2-era byte radio: slow links, relaxed delay", 16,
+      [](std::size_t i, Rng& rng, core::Scenario& sc, SimProfile&) {
+        static const double lmax[] = {8, 12};
+        static const double budget[] = {0.1, 0.2};
+        sc.context.radio = net::RadioParams::cc1000();
+        sc.requirements.l_max = pick(lmax, i);
+        sc.requirements.e_budget = pick(budget, i / 2);
+        sc.context.fs *= rng.uniform(0.5, 1.5);
+      });
+
+  // Indices 0..5 are exactly the scalability bench's ladder (32 to 28,800
+  // nodes); further indices jitter around it.
+  add("scale-up", "deployment-size ladder at constant sink load", 12,
+      [](std::size_t i, Rng& rng, core::Scenario& sc, SimProfile&) {
+        static const int depth[] = {2, 5, 10, 20, 20, 60};
+        static const double density[] = {7, 7, 7, 7, 17, 7};
+        if (i < 6) {
+          sc.context.ring.depth = depth[i];
+          sc.context.ring.density = density[i];
+        } else {
+          sc.context.ring.depth = pick_int(depth, i) + 1;
+          sc.context.ring.density =
+              pick(density, i) * rng.uniform(0.8, 1.5);
+        }
+        sc.requirements.l_max = 1.4 * sc.context.ring.depth;
+        load_constant_fs(sc);
+      });
+
+  return cat;
+}
+
+const ScenarioFamily* Catalog::find(std::string_view name) const {
+  for (const auto& f : families_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+std::size_t Catalog::total_size() const {
+  std::size_t n = 0;
+  for (const auto& f : families_) n += f->size();
+  return n;
+}
+
+CatalogScenario Catalog::expand(std::string_view family, std::size_t index,
+                                std::uint64_t seed) const {
+  const ScenarioFamily* f = find(family);
+  EDB_ASSERT(f != nullptr, "unknown catalog family");
+  return f->expand(index, seed);
+}
+
+std::vector<CatalogScenario> Catalog::expand_family(std::string_view family,
+                                                    std::uint64_t seed,
+                                                    std::size_t cap) const {
+  const ScenarioFamily* f = find(family);
+  EDB_ASSERT(f != nullptr, "unknown catalog family");
+  std::size_t n = f->size();
+  if (cap > 0 && cap < n) n = cap;
+  std::vector<CatalogScenario> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(f->expand(i, seed));
+  return out;
+}
+
+std::vector<CatalogScenario> Catalog::expand_all(
+    std::uint64_t seed, std::size_t per_family_cap) const {
+  std::vector<CatalogScenario> out;
+  for (const auto& f : families_) {
+    auto part = expand_family(f->name(), seed, per_family_cap);
+    for (auto& sc : part) out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+}  // namespace edb::catalog

@@ -1,0 +1,56 @@
+// The built-in scenario catalog: every family the atlas fans through the
+// tuning service, behind one scale knob.
+//
+// `Catalog::builtin()` registers 13 families — ring-density and depth
+// sweeps, traffic mixes (periodic / Poisson / bursty), lossy-channel and
+// clock-drift variants, requirement sweeps, a legacy-radio deployment and
+// the scalability ladder — ~250 scenarios at scale 1.  `scale` multiplies
+// every family's size, so "twice the catalog" is a one-argument change;
+// indices stay meaningful across rescaling (expand(i, seed) returns the
+// same scenario whether the family advertises 4 or 400 entries).
+//
+// All expansion goes through ScenarioFamily::expand and therefore obeys
+// the determinism contract of family.h / DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/family.h"
+
+namespace edb::catalog {
+
+// The seed drivers and tests use unless the user asks for another one.
+inline constexpr std::uint64_t kDefaultSeed = 0xedbca7a1ULL;
+
+class Catalog {
+ public:
+  // The built-in families at the given scale (sizes rounded, min 1).
+  static Catalog builtin(double scale = 1.0);
+
+  const std::vector<std::unique_ptr<ScenarioFamily>>& families() const {
+    return families_;
+  }
+  // nullptr when no family has that name.
+  const ScenarioFamily* find(std::string_view name) const;
+  // Sum of all family sizes.
+  std::size_t total_size() const;
+
+  // expand() through the named family; asserts the family exists (drivers
+  // validate names via find() first).
+  CatalogScenario expand(std::string_view family, std::size_t index,
+                         std::uint64_t seed) const;
+  // All of one family (indices 0..size-1, or 0..cap-1 when 0 < cap < size).
+  std::vector<CatalogScenario> expand_family(std::string_view family,
+                                             std::uint64_t seed,
+                                             std::size_t cap = 0) const;
+  // The whole catalog, families in registration order.
+  std::vector<CatalogScenario> expand_all(std::uint64_t seed,
+                                          std::size_t per_family_cap = 0) const;
+
+ private:
+  std::vector<std::unique_ptr<ScenarioFamily>> families_;
+};
+
+}  // namespace edb::catalog

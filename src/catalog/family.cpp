@@ -1,0 +1,114 @@
+#include "catalog/family.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace edb::catalog {
+namespace {
+
+// Local FNV-1a (same constants as service/key.h, but catalog sits below
+// the service layer and must not reach up into it).
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void put(std::string& out, const char* name, double v) {
+  char buf[48];
+  // Hex floats are bit-exact: two doubles render identically iff they are
+  // the same bits, which is exactly the identity the contract promises.
+  std::snprintf(buf, sizeof buf, "%s=%a;", name, v);
+  out += buf;
+}
+
+void put_u64(std::string& out, const char* name, std::uint64_t v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s=%" PRIu64 ";", name, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t scenario_stream_seed(std::string_view family,
+                                   std::size_t index, std::uint64_t seed) {
+  std::uint64_t h = fnv1a64(family);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(index));
+  return splitmix64(h ^ seed);
+}
+
+std::string CatalogScenario::id() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "/%zu@%" PRIx64, index, seed);
+  return family + buf;
+}
+
+std::uint64_t CatalogScenario::sim_seed() const {
+  // A second derivation step keeps the sim stream independent of the
+  // generation stream (which generate() has already consumed from).
+  return scenario_stream_seed(family, index, seed) ^ 0x51Dull;
+}
+
+std::string CatalogScenario::fingerprint() const {
+  std::string out;
+  out.reserve(640);
+  out += "family=" + family + ";";
+  put_u64(out, "index", index);
+  put_u64(out, "seed", seed);
+  const auto& ctx = scenario.context;
+  out += "radio=" + ctx.radio.name + ";";
+  put(out, "p_tx", ctx.radio.p_tx);
+  put(out, "p_rx", ctx.radio.p_rx);
+  put(out, "p_sleep", ctx.radio.p_sleep);
+  put(out, "bitrate", ctx.radio.bitrate);
+  put(out, "t_startup", ctx.radio.t_startup);
+  put(out, "t_turnaround", ctx.radio.t_turnaround);
+  put(out, "t_cca", ctx.radio.t_cca);
+  put(out, "payload", ctx.packet.payload_bytes);
+  put(out, "header", ctx.packet.header_bytes);
+  put(out, "ack", ctx.packet.ack_bytes);
+  put(out, "strobe", ctx.packet.strobe_bytes);
+  put(out, "ctrl", ctx.packet.ctrl_bytes);
+  put(out, "sync", ctx.packet.sync_bytes);
+  put(out, "depth", static_cast<double>(ctx.ring.depth));
+  put(out, "density", ctx.ring.density);
+  put(out, "fs", ctx.fs);
+  put(out, "epoch", ctx.energy_epoch);
+  put(out, "e_budget", scenario.requirements.e_budget);
+  put(out, "l_max", scenario.requirements.l_max);
+  put(out, "loss", sim.loss_probability);
+  put(out, "drift_ppm", sim.clock_drift_ppm);
+  put(out, "burst", sim.burst_factor);
+  out += sim.poisson_arrivals ? "arrivals=poisson;" : "arrivals=periodic;";
+  return out;
+}
+
+ScenarioFamily::ScenarioFamily(std::string name, std::string description,
+                               std::size_t size)
+    : name_(std::move(name)),
+      description_(std::move(description)),
+      size_(size) {}
+
+CatalogScenario ScenarioFamily::expand(std::size_t index,
+                                       std::uint64_t seed) const {
+  CatalogScenario out;
+  out.family = name_;
+  out.index = index;
+  out.seed = seed;
+  out.scenario = core::Scenario::paper_default();
+  Rng rng(scenario_stream_seed(name_, index, seed));
+  generate(index, rng, out.scenario, out.sim);
+  return out;
+}
+
+}  // namespace edb::catalog

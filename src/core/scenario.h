@@ -4,7 +4,8 @@
 // deployment (radio, packet formats, ring topology, sampling rate) and the
 // application requirements (energy budget per node, maximum tolerated e2e
 // delay).  `paper_default()` is the calibration behind the reproduced
-// figures — see DESIGN.md §5 for how its constants were chosen.
+// figures — see DESIGN.md §6 for how its constants were chosen.  Families
+// of derived scenarios live one layer up in catalog/catalog.h.
 #pragma once
 
 #include "mac/model.h"

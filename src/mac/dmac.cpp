@@ -16,12 +16,28 @@ DmacModel::DmacModel(ModelContext ctx, DmacConfig cfg)
   EDB_ASSERT(cfg_.k_chain >= 1.0, "k_chain must be >= 1");
 }
 
-double DmacModel::slot_width() const {
-  const auto& r = ctx_.radio;
-  const auto& p = ctx_.packet;
-  return cfg_.t_cw + p.data_airtime(r) + p.ack_airtime(r) +
+namespace {
+
+double slot_width_of(const ModelContext& ctx, const DmacConfig& cfg) {
+  const auto& r = ctx.radio;
+  const auto& p = ctx.packet;
+  return cfg.t_cw + p.data_airtime(r) + p.ack_airtime(r) +
          2.0 * r.t_turnaround;
 }
+
+}  // namespace
+
+DmacConfig DmacModel::default_config(const ModelContext& ctx) {
+  DmacConfig cfg;
+  const double floor = (ctx.ring.depth + 1) * slot_width_of(ctx, cfg);
+  if (cfg.t_cycle_min <= floor) {
+    cfg.t_cycle_min = 1.05 * floor;
+    cfg.t_cycle_max = std::max(cfg.t_cycle_max, 8.0 * cfg.t_cycle_min);
+  }
+  return cfg;
+}
+
+double DmacModel::slot_width() const { return slot_width_of(ctx_, cfg_); }
 
 PowerBreakdown DmacModel::power_at_ring(const std::vector<double>& x,
                                         int d) const {

@@ -47,6 +47,12 @@ class DmacModel final : public AnalyticMacModel {
  public:
   explicit DmacModel(ModelContext ctx, DmacConfig cfg = {});
 
+  // The registry's default configuration over `ctx`: DmacConfig{} with the
+  // cycle box widened where the deployment demands it (the staggered
+  // schedule needs one slot per ring, so deep networks raise the floor).
+  // Identical to DmacConfig{} for the paper's calibration.
+  static DmacConfig default_config(const ModelContext& ctx);
+
   std::string_view name() const override { return "DMAC"; }
   const ParamSpace& params() const override { return space_; }
 

@@ -1,6 +1,7 @@
 #include "mac/lmac.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace edb::mac {
 
@@ -16,10 +17,31 @@ LmacModel::LmacModel(ModelContext ctx, LmacConfig cfg)
              "minimum slot width cannot fit CM + data");
 }
 
+namespace {
+
+double min_slot_width_of(const ModelContext& ctx, const LmacConfig& cfg) {
+  const auto& r = ctx.radio;
+  const auto& p = ctx.packet;
+  return r.t_startup + p.ctrl_airtime(r) + p.data_airtime(r) + cfg.guard;
+}
+
+}  // namespace
+
+LmacConfig LmacModel::default_config(const ModelContext& ctx) {
+  LmacConfig cfg;
+  // Collision-free slot reuse needs the 2-hop neighbourhood in one frame.
+  cfg.n_slots = std::max(
+      cfg.n_slots, 2 * static_cast<int>(std::ceil(ctx.ring.density)) + 2);
+  const double min_slot = min_slot_width_of(ctx, cfg);
+  if (cfg.t_slot_min < min_slot) {
+    cfg.t_slot_min = min_slot;
+    cfg.t_slot_max = std::max(cfg.t_slot_max, 50.0 * cfg.t_slot_min);
+  }
+  return cfg;
+}
+
 double LmacModel::min_slot_width() const {
-  const auto& r = ctx_.radio;
-  const auto& p = ctx_.packet;
-  return r.t_startup + p.ctrl_airtime(r) + p.data_airtime(r) + cfg_.guard;
+  return min_slot_width_of(ctx_, cfg_);
 }
 
 PowerBreakdown LmacModel::power_at_ring(const std::vector<double>& x,

@@ -45,6 +45,12 @@ class LmacModel final : public AnalyticMacModel {
  public:
   explicit LmacModel(ModelContext ctx, LmacConfig cfg = {});
 
+  // The registry's default configuration over `ctx`: LmacConfig{} with the
+  // frame grown to hold the 2-hop neighbourhood (dense deployments) and
+  // the slot box widened to fit CM + data on the context's radio (slow
+  // radios).  Identical to LmacConfig{} for the paper's calibration.
+  static LmacConfig default_config(const ModelContext& ctx);
+
   std::string_view name() const override { return "LMAC"; }
   const ParamSpace& params() const override { return space_; }
 

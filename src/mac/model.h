@@ -78,7 +78,7 @@ class ParamSpace {
 };
 
 // Everything a protocol model needs about the deployment.  The defaults are
-// the calibration used for the paper's figures (see DESIGN.md §5): CC2420
+// the calibration used for the paper's figures (see DESIGN.md §6): CC2420
 // radio, 32 B payloads, D = 5 rings, density C = 7, one sample per ~4.3 h,
 // and a 100 s energy accounting epoch.
 struct ModelContext {

@@ -46,14 +46,25 @@ Expected<std::string> resolve_protocol(std::string_view name) {
 Expected<std::unique_ptr<AnalyticMacModel>> make_model(std::string_view name,
                                                        ModelContext ctx) {
   const std::string key = canonical(name);
+  // The paper protocols adapt their default parameter boxes to the
+  // context (frame length to density, cycle floor to depth, wake-interval
+  // floor to the radio's strobe period) so any valid deployment in the
+  // scenario catalog constructs; at the paper's calibration every
+  // default_config is identical to the plain Config{}.
   if (key == "xmac") {
-    return std::unique_ptr<AnalyticMacModel>(new XmacModel(std::move(ctx)));
+    auto cfg = XmacModel::default_config(ctx);
+    return std::unique_ptr<AnalyticMacModel>(
+        new XmacModel(std::move(ctx), cfg));
   }
   if (key == "dmac") {
-    return std::unique_ptr<AnalyticMacModel>(new DmacModel(std::move(ctx)));
+    auto cfg = DmacModel::default_config(ctx);
+    return std::unique_ptr<AnalyticMacModel>(
+        new DmacModel(std::move(ctx), cfg));
   }
   if (key == "lmac") {
-    return std::unique_ptr<AnalyticMacModel>(new LmacModel(std::move(ctx)));
+    auto cfg = LmacModel::default_config(ctx);
+    return std::unique_ptr<AnalyticMacModel>(
+        new LmacModel(std::move(ctx), cfg));
   }
   if (key == "bmac") {
     return std::unique_ptr<AnalyticMacModel>(new BmacModel(std::move(ctx)));

@@ -13,12 +13,28 @@ XmacModel::XmacModel(ModelContext ctx, XmacConfig cfg)
              "wake interval must exceed two strobe periods");
 }
 
-double XmacModel::strobe_period() const {
-  const auto& r = ctx_.radio;
+namespace {
+
+double strobe_period_of(const ModelContext& ctx) {
+  const auto& r = ctx.radio;
   // Strobe airtime + rx/tx turnaround + early-ACK listening gap.
-  return ctx_.packet.strobe_airtime(r) + 2.0 * r.t_turnaround +
-         ctx_.packet.ack_airtime(r);
+  return ctx.packet.strobe_airtime(r) + 2.0 * r.t_turnaround +
+         ctx.packet.ack_airtime(r);
 }
+
+}  // namespace
+
+XmacConfig XmacModel::default_config(const ModelContext& ctx) {
+  XmacConfig cfg;
+  const double floor = 2.0 * strobe_period_of(ctx);
+  if (cfg.tw_min <= floor) {
+    cfg.tw_min = 1.05 * floor;
+    cfg.tw_max = std::max(cfg.tw_max, 20.0 * cfg.tw_min);
+  }
+  return cfg;
+}
+
+double XmacModel::strobe_period() const { return strobe_period_of(ctx_); }
 
 PowerBreakdown XmacModel::power_at_ring(const std::vector<double>& x,
                                         int d) const {

@@ -42,6 +42,12 @@ class XmacModel final : public AnalyticMacModel {
  public:
   explicit XmacModel(ModelContext ctx, XmacConfig cfg = {});
 
+  // The registry's default configuration over `ctx`: XmacConfig{} with the
+  // wake-interval box widened where the deployment demands it (a slow
+  // radio stretches the strobe period and with it the feasible floor).
+  // Identical to XmacConfig{} for the paper's calibration.
+  static XmacConfig default_config(const ModelContext& ctx);
+
   std::string_view name() const override { return "X-MAC"; }
   const ParamSpace& params() const override { return space_; }
 

@@ -11,6 +11,13 @@
 // engine computed, keyed so that only canonically identical queries can
 // hit, so a served result is bit-identical to a fresh solve of the same
 // canonical inputs (the acceptance property of service/planner.h).
+//
+// Thread-safety: get(), put(), stats(), size() and clear() are safe to
+// call concurrently from any thread — each shard locks independently, so
+// readers of different shards never contend, and stats() aggregates
+// per-shard counters under the shard locks (a snapshot, not a fence: a
+// racing put may or may not be counted).  Construction and destruction
+// must not race any other call.
 #pragma once
 
 #include <cstddef>

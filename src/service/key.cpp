@@ -80,19 +80,30 @@ std::string quantize_token(double v) {
   if (v == 0.0) v = 0.0;  // fold -0 into +0
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.9e", v);
+  // Keys may be persisted across processes, so the canonical form must
+  // not depend on the host's LC_NUMERIC decimal point.
+  for (char* c = buf; *c; ++c) {
+    if (*c == ',') *c = '.';
+  }
   return buf;
 }
 
 Expected<std::vector<std::string>> canonical_protocol_set(
     const std::vector<std::string>& protocols) {
-  if (protocols.empty()) return mac::paper_protocols();
   std::vector<std::string> out;
-  for (const auto& name : protocols) {
-    // The registry's own spelling rule, so a name accepted here is a name
-    // make_model accepts.
-    auto resolved = mac::resolve_protocol(name);
-    if (!resolved.ok()) return resolved.error();
-    out.push_back(std::move(resolved).take());
+  if (protocols.empty()) {
+    // The default set goes through the same sort as explicit lists, so
+    // "no protocols" and any spelling of the paper's three produce one
+    // canonical order (and therefore one key).
+    out = mac::paper_protocols();
+  } else {
+    for (const auto& name : protocols) {
+      // The registry's own spelling rule, so a name accepted here is a
+      // name make_model accepts.
+      auto resolved = mac::resolve_protocol(name);
+      if (!resolved.ok()) return resolved.error();
+      out.push_back(std::move(resolved).take());
+    }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

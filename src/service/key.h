@@ -19,6 +19,20 @@
 // FNV-1a hash of it.  The hash spreads keys across cache shards and hash
 // tables; the string discriminates exact equality, so a 64-bit collision
 // can never alias two different queries to one cached result.
+//
+// Guarantees: canonicalization is total and deterministic — the same
+// scenario/options/protocol inputs produce the same key on every
+// platform, run and thread (FNV-1a and "%.9e" quantization are exact
+// integer/decimal procedures with no libm dependence), so keys may be
+// logged, persisted and compared across processes whose numeric locale
+// uses a '.' or ',' decimal point (',' is normalised; processes that
+// install an exotic LC_NUMERIC separator are on their own).  Two keys
+// are equal iff their canonical strings are equal; the hash is derived
+// and never trusted alone.
+//
+// Thread-safety: every function here is a pure function of its
+// arguments — no shared or global state — and safe to call concurrently
+// from any thread.
 #pragma once
 
 #include <cstdint>

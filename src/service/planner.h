@@ -18,6 +18,13 @@
 // over the same canonical inputs: the cache is value-preserving by
 // construction (service/cache.h) and the engine's warm chains are
 // bit-identical to its cold path (core/engine.h).
+//
+// Thread-safety: a BatchPlanner is NOT thread-safe — run() mutates
+// planner state and enters the engine's deterministic pool, so exactly
+// one thread may call run() at a time and stats() must not race it.  The
+// TuningService dispatcher thread provides that serialization; only
+// embedders driving a planner directly need to care.  The referenced
+// engine and cache must outlive the planner.
 #pragma once
 
 #include <cstddef>

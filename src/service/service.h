@@ -18,6 +18,19 @@
 // Stats() snapshots cache hit/miss/eviction counters, planner grouping
 // counters, in-flight depth and p50/p95 serving latency (submit -> done,
 // util/latency.h).
+//
+// Thread-safety: query(), query_batch(), submit(), poll(), wait() and
+// stats() may all be called concurrently from any number of threads; the
+// dispatcher serializes planner/engine access internally.  Tickets are
+// copyable across threads; wait() may be called repeatedly on any copy.
+// The only exclusions are construction and destruction: the destructor
+// must not race a submitter (it drains already-enqueued queries, then
+// exits).
+//
+// Determinism: serving is value-preserving — every result is
+// bit-identical to a cold sequential core::run_sweep over the same
+// canonical inputs, whatever mix of cache hits, batch order, thread
+// count or sync/async entry produced it (DESIGN.md §4).
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,111 @@
+// Catalog surface: family registry, coverage floor, scenario validity,
+// and the atlas assembly over synthetic points.
+#include <cmath>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "catalog/atlas.h"
+#include "catalog/catalog.h"
+
+namespace {
+
+using edb::catalog::AtlasPoint;
+using edb::catalog::Catalog;
+using edb::catalog::kDefaultSeed;
+
+TEST(CatalogFamilies, MeetsTheCoverageFloor) {
+  const Catalog cat = Catalog::builtin();
+  EXPECT_GE(cat.families().size(), 8u);
+  EXPECT_GE(cat.total_size(), 200u);
+
+  std::set<std::string> names;
+  for (const auto& f : cat.families()) {
+    EXPECT_TRUE(names.insert(f->name()).second)
+        << "duplicate family " << f->name();
+    EXPECT_FALSE(f->description().empty());
+    EXPECT_GE(f->size(), 1u);
+  }
+}
+
+TEST(CatalogFamilies, EveryScenarioValidates) {
+  const Catalog cat = Catalog::builtin();
+  for (const auto& sc : cat.expand_all(kDefaultSeed)) {
+    const auto ok = sc.scenario.validate();
+    EXPECT_TRUE(ok.ok()) << sc.id() << ": "
+                         << (ok.ok() ? "" : ok.error().message);
+    EXPECT_TRUE(std::isfinite(sc.scenario.context.fs));
+    EXPECT_GT(sc.scenario.context.fs, 0.0);
+    EXPECT_GE(sc.sim.loss_probability, 0.0);
+    EXPECT_LT(sc.sim.loss_probability, 1.0);
+    EXPECT_GE(sc.sim.burst_factor, 1.0);
+  }
+}
+
+TEST(CatalogFamilies, IndicesWithinAFamilyAreDistinctScenarios) {
+  // Advertised sizes must mean distinct scenarios — a family whose axes
+  // only cover half its size would double-count coverage in the atlas.
+  // Compare fingerprint content after the provenance prefix (family,
+  // index, seed), which differs for every index by construction.
+  const Catalog cat = Catalog::builtin();
+  for (const auto& f : cat.families()) {
+    std::set<std::string> contents;
+    for (std::size_t i = 0; i < f->size(); ++i) {
+      const std::string fp = f->expand(i, kDefaultSeed).fingerprint();
+      const auto at = fp.find("radio=");
+      ASSERT_NE(at, std::string::npos);
+      EXPECT_TRUE(contents.insert(fp.substr(at)).second)
+          << f->name() << "[" << i << "] duplicates an earlier index";
+    }
+  }
+}
+
+TEST(CatalogFamilies, PaperBaselineIndexZeroIsThePaperDefault) {
+  const auto sc =
+      Catalog::builtin().expand("paper-baseline", 0, kDefaultSeed);
+  const auto ref = edb::core::Scenario::paper_default();
+  EXPECT_EQ(sc.scenario.context.ring.depth, ref.context.ring.depth);
+  EXPECT_EQ(sc.scenario.context.ring.density, ref.context.ring.density);
+  EXPECT_EQ(sc.scenario.context.fs, ref.context.fs);
+  EXPECT_EQ(sc.scenario.requirements.e_budget, ref.requirements.e_budget);
+  EXPECT_EQ(sc.scenario.requirements.l_max, ref.requirements.l_max);
+}
+
+TEST(CatalogFamilies, ScaleUpLadderMatchesTheScalabilityBench) {
+  const Catalog cat = Catalog::builtin();
+  const int depths[] = {2, 5, 10, 20, 20, 60};
+  const double densities[] = {7, 7, 7, 7, 17, 7};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto sc = cat.expand("scale-up", i, kDefaultSeed);
+    EXPECT_EQ(sc.scenario.context.ring.depth, depths[i]);
+    EXPECT_EQ(sc.scenario.context.ring.density, densities[i]);
+    // Load-constant convention: the sink sees the paper's ~200-node rate.
+    EXPECT_NEAR(sc.scenario.context.fs * sc.scenario.context.ring.total_nodes(),
+                6.5e-5 * 200.0, 1e-12);
+  }
+}
+
+TEST(CatalogFamilies, UnknownFamilyIsNotFound) {
+  EXPECT_EQ(Catalog::builtin().find("no-such-family"), nullptr);
+}
+
+TEST(CatalogAtlas, FrontierFiltersDominatedPointsAndTalliesWins) {
+  std::vector<AtlasPoint> points;
+  points.push_back({0, true, "X-MAC", 0.02, 2.0});   // frontier
+  points.push_back({1, true, "X-MAC", 0.03, 1.0});   // frontier
+  points.push_back({2, true, "DMAC", 0.03, 2.5});    // dominated by 0
+  points.push_back({3, false, "", 0.0, 0.0});        // infeasible
+  const auto fam = edb::catalog::family_frontier("test", points);
+
+  EXPECT_EQ(fam.scenarios, 4u);
+  EXPECT_EQ(fam.feasible, 3u);
+  ASSERT_EQ(fam.frontier.size(), 2u);
+  EXPECT_EQ(fam.frontier[0].index, 0u);  // sorted by energy
+  EXPECT_EQ(fam.frontier[1].index, 1u);
+  ASSERT_EQ(fam.wins.size(), 2u);
+  EXPECT_EQ(fam.wins[0].first, "X-MAC");
+  EXPECT_EQ(fam.wins[0].second, 2u);
+}
+
+}  // namespace

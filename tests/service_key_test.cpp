@@ -47,6 +47,9 @@ TEST(ProtocolSetTest, DedupesAndDefaults) {
   auto def = canonical_protocol_set({});
   ASSERT_TRUE(def.ok());
   EXPECT_EQ(def->size(), 3u);  // the paper's three
+  // The default set is canonical too: any spelling of the same three
+  // protocols lands on the identical (sorted) order.
+  EXPECT_EQ(*def, *canonical_protocol_set({"xmac", "dmac", "lmac"}));
 }
 
 TEST(ProtocolSetTest, UnknownProtocolIsAnError) {

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked .md file for inline links/images and checks that
+relative targets resolve to files in the repo (anchors are stripped;
+external schemes are ignored).  The CI docs job runs this so README,
+DESIGN.md and docs/ cannot drift out of sync with the tree.
+"""
+import os
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", "build-asan", "build-debug"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    broken = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            target = target.split("#", 1)[0]
+            if not target:  # pure in-page anchor
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                broken.append(f"{path}: {target}")
+    if broken:
+        print("broken intra-repo markdown links:")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"checked {checked} intra-repo links: all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
