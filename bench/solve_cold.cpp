@@ -1,0 +1,180 @@
+// Cold-solve microbench: the block-oracle acceptance run for the solver
+// stack (opt grid stages -> batched fence -> mac SoA kernels).
+//
+// Runs repeated cold bargaining solves (fresh EnergyDelayGame, no warm
+// start, no memoization — the service's uncached path) for the three
+// paper models and self-times them, like engine_micro (no google-benchmark
+// dependency).  Per model and overall it reports
+//
+//   solves/s        cold end-to-end solve throughput
+//   evals/solve     oracle evaluations per solve (BargainingOutcome::stats;
+//                   deterministic, so it doubles as a regression guard)
+//   ns/eval         solve wall time per evaluation
+//   oracle_share    fraction of solve time spent inside the block oracle
+//
+// and writes BENCH_solver.json next to the binary.
+//
+//   $ ./solve_cold [repeats] [baseline.json]
+//
+// With a baseline file (bench/baselines/BENCH_solver.baseline.json in CI),
+// exits non-zero when any model's evals/solve regresses more than 10%
+// above the checked-in value — evaluation counts are deterministic, so
+// the threshold only trips on real plan changes, never on machine noise.
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/game_framework.h"
+#include "core/scenario.h"
+#include "mac/registry.h"
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+// Lower-cased protocol name with non-alphanumerics dropped: "X-MAC" ->
+// "xmac", stable across the JSON field names and the baseline file.
+std::string field_tag(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+// Minimal flat-JSON number lookup ("\"key\": value") — enough for the
+// bench_json.h output format; returns false when the key is absent.
+bool json_number(const std::string& text, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edb;
+
+  const int repeats = std::max(1, argc > 1 ? std::atoi(argv[1]) : 10);
+  const char* baseline_path = argc > 2 ? argv[2] : nullptr;
+
+  const core::Scenario scenario = core::Scenario::paper_default();
+  const std::vector<std::string> protocols = {"X-MAC", "DMAC", "LMAC"};
+
+  std::printf("== solve_cold: %d cold solves per paper model ==\n", repeats);
+
+  bench::BenchJson json;
+  json.integer("repeats", repeats);
+
+  bool regressed = false;
+  std::string baseline;
+  if (baseline_path) {
+    std::ifstream in(baseline_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    baseline = ss.str();
+    if (baseline.empty()) {
+      std::fprintf(stderr, "warning: cannot read baseline %s\n",
+                   baseline_path);
+    }
+  }
+
+  double total_ms = 0;
+  long long total_evals = 0;
+  int total_solves = 0;
+  for (const auto& name : protocols) {
+    auto model = mac::make_model(name, scenario.context).take();
+    core::EnergyDelayGame game(*model, scenario.requirements);
+
+    // One untimed warm-up solve keeps lazy setup out of the measurement.
+    auto first = game.solve();
+    if (!first.ok()) {
+      std::fprintf(stderr, "%s: cold solve failed: %s\n", name.c_str(),
+                   first.error().to_string().c_str());
+      return 2;
+    }
+
+    const double t0 = now_ms();
+    core::SolveStats stats;
+    for (int i = 0; i < repeats; ++i) {
+      auto outcome = game.solve();
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "%s: cold solve failed\n", name.c_str());
+        return 2;
+      }
+      stats = outcome->stats;  // deterministic: identical every repeat
+    }
+    const double elapsed = now_ms() - t0;
+
+    const double solves_per_sec = 1e3 * repeats / elapsed;
+    const double evals_per_solve = static_cast<double>(stats.evaluations);
+    const double ns_per_eval =
+        1e6 * elapsed / (static_cast<double>(stats.evaluations) * repeats);
+    const double oracle_share =
+        stats.oracle_ns * repeats / (1e6 * elapsed);
+
+    std::printf(
+        "%-6s %8.1f solves/s  %7.0f evals/solve  %6.1f ns/eval  "
+        "(%5.1f%% in block oracle, %lld blocks)\n",
+        name.c_str(), solves_per_sec, evals_per_solve, ns_per_eval,
+        1e2 * oracle_share, stats.blocks);
+
+    const std::string tag = field_tag(name);
+    json.number((tag + "_solves_per_sec").c_str(), solves_per_sec);
+    json.number((tag + "_evals_per_solve").c_str(), evals_per_solve);
+    json.number((tag + "_ns_per_eval").c_str(), ns_per_eval);
+    json.integer((tag + "_blocks_per_solve").c_str(), stats.blocks);
+
+    total_ms += elapsed;
+    total_evals += stats.evaluations * repeats;
+    total_solves += repeats;
+
+    if (!baseline.empty()) {
+      double base_evals = 0;
+      if (json_number(baseline, tag + "_evals_per_solve", &base_evals)) {
+        if (evals_per_solve > 1.1 * base_evals) {
+          std::fprintf(stderr,
+                       "REGRESSION %s: %.0f evals/solve vs baseline %.0f "
+                       "(>10%%)\n",
+                       name.c_str(), evals_per_solve, base_evals);
+          regressed = true;
+        }
+      } else {
+        std::fprintf(stderr, "warning: baseline lacks %s_evals_per_solve\n",
+                     tag.c_str());
+      }
+    }
+  }
+
+  const double cold_solves_per_sec = 1e3 * total_solves / total_ms;
+  const double ns_per_eval = 1e6 * total_ms / total_evals;
+  std::printf("overall: %.1f cold solves/s, %.1f ns/eval\n",
+              cold_solves_per_sec, ns_per_eval);
+
+  json.number("cold_solves_per_sec", cold_solves_per_sec);
+  json.number("evals_per_solve",
+              static_cast<double>(total_evals) / total_solves);
+  json.number("ns_per_eval", ns_per_eval);
+  json.write_file("BENCH_solver.json");
+
+  return regressed ? 1 : 0;
+}

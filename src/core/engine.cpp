@@ -37,11 +37,15 @@ namespace {
 
 // Scoped memo wrap: resolves to the wrapped model when memoization is on,
 // the bare model otherwise.  One instance per task/thread — the cache is
-// unsynchronised by design (mac/memo.h).
+// unsynchronised by design (mac/memo.h).  Models with a native batch
+// kernel are never wrapped even when memoization is requested: for them a
+// re-evaluation is cheaper than a hash lookup, and the memo is
+// value-preserving by construction, so skipping it changes cost only.
 struct MemoScope {
   MemoScope(const mac::AnalyticMacModel& inner, bool memoize) {
-    if (memoize) memo.emplace(inner);
-    model = memoize ? &*memo : &inner;
+    const bool wrap = memoize && !inner.has_batch_kernel();
+    if (wrap) memo.emplace(inner);
+    model = wrap ? &*memo : &inner;
   }
   std::optional<mac::MemoizedMacModel> memo;
   const mac::AnalyticMacModel* model;

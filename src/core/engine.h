@@ -89,7 +89,11 @@ struct EngineOptions {
   int threads = 0;         // ParallelExecutor width; 0 = hardware threads
   bool parallel = true;    // false => SequentialExecutor
   bool warm_start = true;  // chain cells within a sweep (trusted seeds)
-  bool memoize = true;     // per-cell MemoizedMacModel
+  // Per-cell MemoizedMacModel for models WITHOUT a native batch kernel
+  // (mac::AnalyticMacModel::has_batch_kernel).  Kernel models are cheaper
+  // to re-evaluate than to hash, so they are never wrapped; the memo is
+  // value-preserving, so the skip affects cost only, never results.
+  bool memoize = true;
 };
 
 // One independent bargaining solve.  The model must outlive the call.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "opt/batch.h"
 #include "opt/bounds.h"
 #include "opt/grid.h"
 #include "opt/penalty.h"
@@ -30,6 +32,206 @@ opt::Objective fenced(opt::Objective raw,
   };
 }
 
+// One requirement slack of the batched fence: the scalar slack's combine
+// arithmetic applied to a blockwise-computed metric (E or L).
+struct MetricSlack {
+  bool uses_energy = false;  // the metric the combine reads: E, else L
+  std::function<double(double)> fn;
+};
+
+// Batched counterpart of fenced() for the grid oracles (opt/batch.h).
+//
+// Every objective and slack in this framework depends on x only through
+// the metric triple (E(x), L(x), margin(x)), so the fence vectorizes as
+// three blockwise metric sweeps with the scalar combine arithmetic
+// applied per lane.  Evaluation replays the scalar fence's order: the
+// protocol margin first (lanes failing it are +inf and never see another
+// metric), then the requirement slacks in declaration order
+// (short-circuit: a failed slack kills the lane), then the raw objective
+// only on the lanes still alive.  Metrics computed for the slack stage
+// are reused by the raw stage — the models are deterministic, so reuse
+// is bit-identical to re-evaluation.
+class BatchFence {
+ public:
+  BatchFence(const mac::AnalyticMacModel& model,
+             std::vector<MetricSlack> slacks, bool raw_uses_e,
+             bool raw_uses_l, std::function<double(double, double)> raw)
+      : model_(&model), slacks_(std::move(slacks)), raw_uses_e_(raw_uses_e),
+        raw_uses_l_(raw_uses_l), raw_(std::move(raw)) {
+    for (const auto& s : slacks_) {
+      (s.uses_energy ? slack_e_ : slack_l_) = true;
+    }
+  }
+
+  // The std::function wrapper the grid solvers take; `this` must outlive
+  // the returned oracle (both live on the solve's stack frame).
+  opt::BatchObjective oracle() {
+    return [this](const opt::PointBlock& b, double* values) {
+      evaluate(b, values);
+    };
+  }
+
+ private:
+  void evaluate(const opt::PointBlock& b, double* values) {
+    const std::size_t dim = b.dim;
+
+    // Stage 1 — protocol margin over the whole block.
+    margins_.resize(b.n);
+    model_->evaluate_batch(b.xs, b.n, nullptr, nullptr, margins_.data());
+    alive_.clear();
+    sub_.clear();
+    for (std::size_t i = 0; i < b.n; ++i) {
+      if (margins_[i] > 0.0) {
+        alive_.push_back(i);
+        const double* p = b.point(i);
+        sub_.insert(sub_.end(), p, p + dim);
+      } else {
+        values[i] = kInf;
+      }
+    }
+    if (alive_.empty()) return;
+    const std::size_t m = alive_.size();
+
+    // Stage 2 — requirement slacks on the margin-feasible lanes.
+    if (slack_e_) e_.resize(m);
+    if (slack_l_) l_.resize(m);
+    if (slack_e_ || slack_l_) {
+      model_->evaluate_batch(sub_.data(), m, slack_e_ ? e_.data() : nullptr,
+                             slack_l_ ? l_.data() : nullptr, nullptr);
+    }
+    survivors_.clear();
+    for (std::size_t j = 0; j < m; ++j) {
+      bool ok = true;
+      for (const auto& s : slacks_) {
+        if (s.fn(s.uses_energy ? e_[j] : l_[j]) <= 0.0) {
+          ok = false;
+          break;  // scalar short-circuit: first failed slack wins
+        }
+      }
+      if (ok) {
+        survivors_.push_back(j);
+      } else {
+        values[alive_[j]] = kInf;
+      }
+    }
+    if (survivors_.empty()) return;
+
+    // Stage 3 — raw objective on the fully feasible lanes; metrics not
+    // already computed for the slacks are evaluated on the compacted
+    // survivor block.
+    const bool extra_e = raw_uses_e_ && !slack_e_;
+    const bool extra_l = raw_uses_l_ && !slack_l_;
+    const std::size_t k = survivors_.size();
+    if (extra_e || extra_l) {
+      sub2_.clear();
+      for (std::size_t j : survivors_) {
+        const double* p = sub_.data() + j * dim;
+        sub2_.insert(sub2_.end(), p, p + dim);
+      }
+      if (extra_e) e2_.resize(k);
+      if (extra_l) l2_.resize(k);
+      model_->evaluate_batch(sub2_.data(), k,
+                             extra_e ? e2_.data() : nullptr,
+                             extra_l ? l2_.data() : nullptr, nullptr);
+    }
+    for (std::size_t t = 0; t < k; ++t) {
+      const std::size_t j = survivors_[t];
+      const double e =
+          raw_uses_e_ ? (slack_e_ ? e_[j] : e2_[t]) : 0.0;
+      const double l =
+          raw_uses_l_ ? (slack_l_ ? l_[j] : l2_[t]) : 0.0;
+      values[alive_[j]] = raw_(e, l);
+    }
+  }
+
+  const mac::AnalyticMacModel* model_;
+  std::vector<MetricSlack> slacks_;
+  bool raw_uses_e_, raw_uses_l_;
+  bool slack_e_ = false, slack_l_ = false;
+  std::function<double(double, double)> raw_;
+  // Scratch (reused across blocks; one fence serves one solve thread).
+  std::vector<double> margins_, e_, l_, e2_, l2_, sub_, sub2_;
+  std::vector<std::size_t> alive_, survivors_;
+};
+
+SolveStats stats_of(const opt::VectorResult& r) {
+  return SolveStats{r.evaluations, r.blocks, r.oracle_ns};
+}
+
+// Fused point evaluation for the scalar solver stages (the penalty
+// multistart and the warm Nelder-Mead descent — sequential by nature, so
+// they cannot take whole blocks).  A problem's objective and slack
+// lambdas all evaluate the model at the same x back-to-back; routing them
+// through one shared PointMetrics makes that a single
+// evaluate_batch(n = 1) call per distinct point — the three metrics share
+// the kernel's hoisted invariants — with bitwise-repeat calls served from
+// the cached triple.  The models are deterministic, so reuse is
+// bit-identical to re-evaluation.
+class PointMetrics {
+ public:
+  explicit PointMetrics(const mac::AnalyticMacModel& model)
+      : model_(&model) {}
+
+  double energy(const std::vector<double>& x) {
+    refresh(x);
+    return e_;
+  }
+  double latency(const std::vector<double>& x) {
+    refresh(x);
+    return l_;
+  }
+  double margin(const std::vector<double>& x) {
+    refresh(x);
+    return m_;
+  }
+
+ private:
+  void refresh(const std::vector<double>& x) {
+    if (x.size() == last_x_.size() && !last_x_.empty() &&
+        std::memcmp(x.data(), last_x_.data(),
+                    x.size() * sizeof(double)) == 0) {
+      return;
+    }
+    model_->evaluate_batch(x.data(), 1, &e_, &l_, &m_);
+    last_x_.assign(x.begin(), x.end());
+  }
+
+  const mac::AnalyticMacModel* model_;
+  std::vector<double> last_x_;
+  double e_ = 0, l_ = 0, m_ = 0;
+};
+
+// Scalar oracles derived from the SAME spec the BatchFence runs on, so
+// the sequential stages (penalty multistart, warm Nelder-Mead descent)
+// and the batched grid stages can never drift apart: every slack/raw
+// combine exists exactly once, and both flavours read the model through
+// the same metric plumbing.  `metrics` must outlive the returned
+// lambdas (both live on the solve's stack frame).
+opt::Objective make_scalar_objective(
+    PointMetrics& metrics, bool raw_uses_e, bool raw_uses_l,
+    std::function<double(double, double)> raw) {
+  return [&metrics, raw_uses_e, raw_uses_l,
+          raw = std::move(raw)](const std::vector<double>& x) {
+    const double e = raw_uses_e ? metrics.energy(x) : 0.0;
+    const double l = raw_uses_l ? metrics.latency(x) : 0.0;
+    return raw(e, l);
+  };
+}
+
+std::vector<opt::Constraint> make_scalar_slacks(
+    PointMetrics& metrics, const std::vector<MetricSlack>& slacks) {
+  std::vector<opt::Constraint> out;
+  // The protocol margin leads, exactly as BatchFence stages it.
+  out.push_back(
+      [&metrics](const std::vector<double>& x) { return metrics.margin(x); });
+  for (const auto& s : slacks) {
+    out.push_back([&metrics, s](const std::vector<double>& x) {
+      return s.fn(s.uses_energy ? metrics.energy(x) : metrics.latency(x));
+    });
+  }
+  return out;
+}
+
 // Best feasible point across the two solver families of DESIGN.md §2.
 //
 // Cold (no trusted seed): the exterior-penalty multistart pipeline plus
@@ -52,16 +254,19 @@ opt::Objective fenced(opt::Objective raw,
 // engine's determinism tests and bench/engine_micro guard it.
 Expected<opt::VectorResult> dual_solve(
     const opt::Objective& raw, const std::vector<opt::Constraint>& slacks,
-    const opt::Box& box, const std::vector<double>& seed = {},
-    bool trusted = false) {
+    const opt::BatchObjective& batch_fence, const opt::Box& box,
+    const std::vector<double>& seed = {}, bool trusted = false) {
   const bool warm = trusted && seed.size() == box.dim();
+  // The scalar fence survives for the sequential stage-2 descent; the grid
+  // stages run on its batched counterpart (bit-identical values, one
+  // oracle call per lattice block).
   opt::Objective fence = fenced(raw, slacks);
 
   // Stage 1 — coarse global scan, IDENTICAL in the cold and warm paths:
   // the full-box zooming grid locates the optimum's basin to ~5e-5 of the
   // box width.  Running the exact same scan in both paths matters beyond
   // cost: its incumbent anchors the polish window below.
-  auto grid = opt::grid_refine_min(fence, box,
+  auto grid = opt::grid_refine_min(batch_fence, box,
                                    {.points_per_dim = 65, .rounds = 4,
                                     .zoom = 0.15});
   const bool grid_ok = !grid.x.empty() && std::isfinite(grid.value);
@@ -98,6 +303,12 @@ Expected<opt::VectorResult> dual_solve(
     return r;
   };
 
+  // Total oracle cost of the solve: every stage's evaluations (and block
+  // counters) accumulate here, independent of which candidate wins — the
+  // decision logic below compares values only.
+  opt::VectorResult cost;
+  cost.absorb_cost(grid);
+
   opt::VectorResult cand;
   bool cand_is_warm_descent = false;
   if (warm && grid_ok) {
@@ -107,6 +318,7 @@ Expected<opt::VectorResult> dual_solve(
   } else {
     cand = cold_stage2();
   }
+  cost.absorb_cost(cand);
 
   bool cand_ok = !cand.x.empty() && std::isfinite(cand.value);
   if (!grid_ok && !cand_ok) {
@@ -131,10 +343,10 @@ Expected<opt::VectorResult> dual_solve(
       hi[i] = std::min(box.hi(i), anchor[i] + half);
     }
     auto polished = opt::grid_refine_min(
-        fence, opt::Box(lo, hi),
+        batch_fence, opt::Box(lo, hi),
         {.points_per_dim = 65, .rounds = 10, .zoom = 0.15});
+    cost.absorb_cost(polished);
     if (std::isfinite(polished.value) && polished.value < best.value) {
-      polished.evaluations += best.evaluations;
       best = polished;
     }
   }
@@ -153,16 +365,17 @@ Expected<opt::VectorResult> dual_solve(
     // The warm descent claims a basin the coarse scan missed.  Decide the
     // rare case with the cold machinery so the warm path cannot override
     // the polished point where the cold path would not have.
-    const int nm_evals = cand.evaluations;
     cand = cold_stage2();
-    cand.evaluations += nm_evals;
+    cost.absorb_cost(cand);
     cand_ok = !cand.x.empty() && std::isfinite(cand.value);
   }
   if (cand_ok && macro_better(cand, best)) {
-    cand.evaluations += best.evaluations;
     best = cand;
   }
 
+  best.evaluations = cost.evaluations;
+  best.blocks = cost.blocks;
+  best.oracle_ns = cost.oracle_ns;
   best.converged = true;
   return best;
 }
@@ -191,26 +404,19 @@ Error p3_infeasible_error(std::string_view protocol) {
 
 ProtocolEnvelope protocol_envelope(const mac::AnalyticMacModel& model) {
   const opt::Box box = model_box(model);
-  std::vector<opt::Constraint> margin = {
-      [&model](const std::vector<double>& x) {
-        return model.feasibility_margin(x);
-      },
-  };
   // The same lattice family as dual_solve's stage 1, refined a little
   // deeper: the envelope feeds threshold comparisons against sweep values,
-  // not optimisation, so ~1e-6-of-the-box accuracy is ample.
+  // not optimisation, so ~1e-6-of-the-box accuracy is ample.  Margin-only
+  // batched fences: no requirement slacks, raw metric on feasible lanes.
   const opt::GridOptions grid_opts{.points_per_dim = 65, .rounds = 8,
                                    .zoom = 0.15};
   ProtocolEnvelope env;
-  auto e = opt::grid_refine_min(
-      fenced([&model](const std::vector<double>& x) { return model.energy(x); },
-             margin),
-      box, grid_opts);
-  auto l = opt::grid_refine_min(
-      fenced(
-          [&model](const std::vector<double>& x) { return model.latency(x); },
-          margin),
-      box, grid_opts);
+  BatchFence fence_e(model, {}, /*raw_uses_e=*/true, /*raw_uses_l=*/false,
+                     [](double e, double) { return e; });
+  BatchFence fence_l(model, {}, /*raw_uses_e=*/false, /*raw_uses_l=*/true,
+                     [](double, double l) { return l; });
+  auto e = opt::grid_refine_min(fence_e.oracle(), box, grid_opts);
+  auto l = opt::grid_refine_min(fence_l.oracle(), box, grid_opts);
   env.e_min = std::isfinite(e.value) ? e.value : kInf;
   env.l_min = std::isfinite(l.value) ? l.value : kInf;
   return env;
@@ -247,23 +453,27 @@ Expected<OperatingPoint> EnergyDelayGame::solve_p1() const {
 }
 
 Expected<OperatingPoint> EnergyDelayGame::solve_p1(
-    const std::vector<double>& seed, bool trusted) const {
+    const std::vector<double>& seed, bool trusted, SolveStats* stats) const {
   const opt::Box box = model_box(model_);
-  opt::Objective obj = [this](const std::vector<double>& x) {
-    return model_.energy(x);
+  // One spec drives both oracle flavours (see make_scalar_objective).
+  const std::vector<MetricSlack> mslacks = {
+      {/*uses_energy=*/false,
+       [this](double l) { return (req_.l_max - l) / req_.l_max; }}};
+  const std::function<double(double, double)> raw = [](double e, double) {
+    return e;
   };
-  std::vector<opt::Constraint> slacks = {
-      [this](const std::vector<double>& x) {
-        return model_.feasibility_margin(x);
-      },
-      [this](const std::vector<double>& x) {
-        return (req_.l_max - model_.latency(x)) / req_.l_max;
-      },
-  };
-  auto r = dual_solve(obj, slacks, box, seed, trusted);
+  PointMetrics metrics(model_);
+  opt::Objective obj =
+      make_scalar_objective(metrics, /*raw_uses_e=*/true,
+                            /*raw_uses_l=*/false, raw);
+  std::vector<opt::Constraint> slacks = make_scalar_slacks(metrics, mslacks);
+  BatchFence batch(model_, mslacks, /*raw_uses_e=*/true,
+                   /*raw_uses_l=*/false, raw);
+  auto r = dual_solve(obj, slacks, batch.oracle(), box, seed, trusted);
   if (!r.ok()) {
     return p1_infeasible_error(model_.name());
   }
+  if (stats) stats->absorb(stats_of(*r));
   return make_point(r->x);
 }
 
@@ -272,23 +482,27 @@ Expected<OperatingPoint> EnergyDelayGame::solve_p2() const {
 }
 
 Expected<OperatingPoint> EnergyDelayGame::solve_p2(
-    const std::vector<double>& seed, bool trusted) const {
+    const std::vector<double>& seed, bool trusted, SolveStats* stats) const {
   const opt::Box box = model_box(model_);
-  opt::Objective obj = [this](const std::vector<double>& x) {
-    return model_.latency(x);
+  // One spec drives both oracle flavours (see make_scalar_objective).
+  const std::vector<MetricSlack> mslacks = {
+      {/*uses_energy=*/true,
+       [this](double e) { return (req_.e_budget - e) / req_.e_budget; }}};
+  const std::function<double(double, double)> raw = [](double, double l) {
+    return l;
   };
-  std::vector<opt::Constraint> slacks = {
-      [this](const std::vector<double>& x) {
-        return model_.feasibility_margin(x);
-      },
-      [this](const std::vector<double>& x) {
-        return (req_.e_budget - model_.energy(x)) / req_.e_budget;
-      },
-  };
-  auto r = dual_solve(obj, slacks, box, seed, trusted);
+  PointMetrics metrics(model_);
+  opt::Objective obj =
+      make_scalar_objective(metrics, /*raw_uses_e=*/false,
+                            /*raw_uses_l=*/true, raw);
+  std::vector<opt::Constraint> slacks = make_scalar_slacks(metrics, mslacks);
+  BatchFence batch(model_, mslacks, /*raw_uses_e=*/false,
+                   /*raw_uses_l=*/true, raw);
+  auto r = dual_solve(obj, slacks, batch.oracle(), box, seed, trusted);
   if (!r.ok()) {
     return p2_infeasible_error(model_.name());
   }
+  if (stats) stats->absorb(stats_of(*r));
   return make_point(r->x);
 }
 
@@ -307,14 +521,16 @@ Expected<BargainingOutcome> EnergyDelayGame::solve_weighted(
     return make_error(ErrorCode::kInvalidArgument,
                       "bargaining power alpha must lie in (0, 1)");
   }
-  auto p1 = solve_p1(hints.p1, hints.trusted);
+  SolveStats stats;
+  auto p1 = solve_p1(hints.p1, hints.trusted, &stats);
   if (!p1.ok()) return p1.error();
-  auto p2 = solve_p2(hints.p2, hints.trusted);
+  auto p2 = solve_p2(hints.p2, hints.trusted, &stats);
   if (!p2.ok()) return p2.error();
 
   BargainingOutcome out;
   out.p1 = *p1;
   out.p2 = *p2;
+  out.stats = stats;
 
   const double e_worst = out.e_worst();
   const double l_worst = out.l_worst();
@@ -335,31 +551,36 @@ Expected<BargainingOutcome> EnergyDelayGame::solve_weighted(
   // (continuous across the boundary).
   const double e_range = std::max(e_worst - out.e_best(), 1e-300);
   const double l_range = std::max(l_worst - out.l_best(), 1e-300);
-  opt::Objective obj = [this, e_worst, l_worst, e_range, l_range,
-                        alpha](const std::vector<double>& x) {
-    const double se = (e_worst - model_.energy(x)) / e_range;
-    const double sl = (l_worst - model_.latency(x)) / l_range;
-    if (se > 0.0 && sl > 0.0) {
-      return -std::pow(se, alpha) * std::pow(sl, 1.0 - alpha);
-    }
-    return (se <= 0.0 ? -se : 0.0) + (sl <= 0.0 ? -sl : 0.0);
-  };
-  std::vector<opt::Constraint> slacks = {
-      [this](const std::vector<double>& x) {
-        return model_.feasibility_margin(x);
-      },
-      [this, e_worst](const std::vector<double>& x) {
-        const double cap = std::min(req_.e_budget, e_worst);
-        return (cap - model_.energy(x)) / cap;
-      },
-      [this, l_worst](const std::vector<double>& x) {
-        const double cap = std::min(req_.l_max, l_worst);
-        return (cap - model_.latency(x)) / cap;
-      },
-  };
+  // One spec drives both oracle flavours (see make_scalar_objective).
+  // The caps are x-independent, so hoisting them out of the per-lane
+  // combines preserves the scalar bits.
+  const double e_cap = std::min(req_.e_budget, e_worst);
+  const double l_cap = std::min(req_.l_max, l_worst);
+  const std::vector<MetricSlack> mslacks = {
+      {/*uses_energy=*/true,
+       [e_cap](double e) { return (e_cap - e) / e_cap; }},
+      {/*uses_energy=*/false,
+       [l_cap](double l) { return (l_cap - l) / l_cap; }}};
+  const std::function<double(double, double)> raw =
+      [e_worst, l_worst, e_range, l_range, alpha](double e, double l) {
+        const double se = (e_worst - e) / e_range;
+        const double sl = (l_worst - l) / l_range;
+        if (se > 0.0 && sl > 0.0) {
+          return -std::pow(se, alpha) * std::pow(sl, 1.0 - alpha);
+        }
+        return (se <= 0.0 ? -se : 0.0) + (sl <= 0.0 ? -sl : 0.0);
+      };
+  PointMetrics metrics(model_);
+  opt::Objective obj =
+      make_scalar_objective(metrics, /*raw_uses_e=*/true,
+                            /*raw_uses_l=*/true, raw);
+  std::vector<opt::Constraint> slacks = make_scalar_slacks(metrics, mslacks);
+  BatchFence batch(model_, mslacks, /*raw_uses_e=*/true,
+                   /*raw_uses_l=*/true, raw);
 
   const opt::Box box = model_box(model_);
-  auto r = dual_solve(obj, slacks, box, hints.nbs, hints.trusted);
+  auto r = dual_solve(obj, slacks, batch.oracle(), box, hints.nbs,
+                      hints.trusted);
   if (!r.ok()) {
     // Strict-inequality slacks can exclude a corner that sits exactly on
     // the caps; accept a corner that satisfies the (P3) constraints within
@@ -379,6 +600,8 @@ Expected<BargainingOutcome> EnergyDelayGame::solve_weighted(
     return p3_infeasible_error(model_.name());
   }
 
+  stats.absorb(stats_of(*r));
+  out.stats = stats;
   out.nbs = make_point(r->x);
   out.nash_product = std::max(0.0, (e_worst - out.nbs.energy) *
                                        (l_worst - out.nbs.latency));
@@ -388,14 +611,16 @@ Expected<BargainingOutcome> EnergyDelayGame::solve_weighted(
 std::vector<opt::ParetoPoint> EnergyDelayGame::frontier(
     int points_per_dim) const {
   const opt::Box box = model_box(model_);
-  opt::Objective f1 = [this](const std::vector<double>& x) {
-    return model_.energy(x);
+  // Blockwise metric sweeps through the model's batch oracle; same point
+  // set and order as the scalar scan (opt/pareto.h).
+  opt::BatchObjective f1 = [this](const opt::PointBlock& b, double* v) {
+    model_.evaluate_batch(b.xs, b.n, v, nullptr, nullptr);
   };
-  opt::Objective f2 = [this](const std::vector<double>& x) {
-    return model_.latency(x);
+  opt::BatchObjective f2 = [this](const opt::PointBlock& b, double* v) {
+    model_.evaluate_batch(b.xs, b.n, nullptr, v, nullptr);
   };
-  opt::Constraint feas = [this](const std::vector<double>& x) {
-    return model_.feasibility_margin(x);
+  opt::BatchConstraint feas = [this](const opt::PointBlock& b, double* v) {
+    model_.evaluate_batch(b.xs, b.n, nullptr, nullptr, v);
   };
   return opt::trace_frontier(f1, f2, box, feas,
                              {.points_per_dim = points_per_dim});

@@ -36,6 +36,21 @@ struct OperatingPoint {
   double latency = 0;     // L(x) [s]
 };
 
+// Solver-cost instrumentation accumulated across a pipeline's dual_solves
+// (P1 + P2 + P4), threaded up from opt::VectorResult so benches can report
+// evaluations per solve and ns per evaluation (bench/solve_cold.cpp).
+struct SolveStats {
+  long long evaluations = 0;  // scalar-equivalent oracle evaluations
+  long long blocks = 0;       // block-oracle invocations (batched stages)
+  double oracle_ns = 0;       // wall time inside the block oracle [ns]
+
+  void absorb(const SolveStats& o) {
+    evaluations += o.evaluations;
+    blocks += o.blocks;
+    oracle_ns += o.oracle_ns;
+  }
+};
+
 // Full outcome of the bargaining pipeline for one protocol + requirements.
 struct BargainingOutcome {
   OperatingPoint p1;   // energy player's optimum: (Ebest, Lworst)
@@ -48,6 +63,8 @@ struct BargainingOutcome {
   double l_best() const { return p2.latency; }
 
   double nash_product = 0;  // (Eworst - E*)(Lworst - L*)
+
+  SolveStats stats;  // aggregated cost of the P1/P2/P4 dual_solves
 
   // The paper's proportional-fairness identity ratios:
   //   (E* - Eworst)/(Ebest - Eworst)  and  (L* - Lworst)/(Lbest - Lworst).
@@ -122,10 +139,13 @@ class EnergyDelayGame {
 
  private:
   OperatingPoint make_point(std::vector<double> x) const;
+  // `stats`, when non-null, accumulates the dual_solve's oracle cost.
   Expected<OperatingPoint> solve_p1(const std::vector<double>& seed,
-                                    bool trusted) const;
+                                    bool trusted,
+                                    SolveStats* stats = nullptr) const;
   Expected<OperatingPoint> solve_p2(const std::vector<double>& seed,
-                                    bool trusted) const;
+                                    bool trusted,
+                                    SolveStats* stats = nullptr) const;
 
   const mac::AnalyticMacModel& model_;
   AppRequirements req_;

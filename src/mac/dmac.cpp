@@ -14,6 +14,29 @@ DmacModel::DmacModel(ModelContext ctx, DmacConfig cfg)
                  (ctx_.ring.depth + 1) * slot_width(),
              "minimum cycle too short for the staggered schedule");
   EDB_ASSERT(cfg_.k_chain >= 1.0, "k_chain must be >= 1");
+
+  // Batch-kernel invariants (mac/dmac.h): scalar-path expressions over
+  // the now-frozen ctx/cfg.
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+  const int depth = ctx_.ring.depth;
+  bc_.mu = slot_width();
+  bc_.cs_num = 2.0 * bc_.mu * r.p_rx;
+  const double e_tx_pkt = 0.5 * cfg_.t_cw * r.p_rx +
+                          p.data_airtime(r) * r.p_tx +
+                          p.ack_airtime(r) * r.p_rx;
+  bc_.stx = p.sync_airtime(r) * r.p_tx / cfg_.sync_period;
+  bc_.srx = (p.sync_airtime(r) + 2.0 * cfg_.sync_guard) * r.p_rx /
+            cfg_.sync_period;
+  bc_.tx_d.resize(depth);
+  bc_.rx_d.resize(depth);
+  for (int d = 1; d <= depth; ++d) {
+    bc_.tx_d[d - 1] = traffic.f_out(d) * e_tx_pkt;
+    bc_.rx_d[d - 1] = traffic.f_in(d) * p.ack_airtime(r) * r.p_tx;
+  }
+  bc_.f_out1 = traffic.f_out(1);
+  bc_.needed = (ctx_.ring.depth + 1) * bc_.mu;
 }
 
 namespace {
@@ -77,6 +100,41 @@ double DmacModel::source_wait(const std::vector<double>& x) const {
   // Uniform packet generation inside the cycle: expected wait for the
   // node's next transmit slot is half a cycle.
   return 0.5 * x[0];
+}
+
+void DmacModel::evaluate_batch(const double* xs, std::size_t n,
+                               double* energies, double* latencies,
+                               double* margins) const {
+  check_block(xs, n);
+  const BatchCoeffs& c = bc_;
+  const int depth = ctx_.ring.depth;
+  const double p_sleep = ctx_.radio.p_sleep;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t_cycle = xs[i];
+    if (energies) {
+      const double cs = c.cs_num / t_cycle;
+      double worst = 0.0;
+      for (int d = 0; d < depth; ++d) {
+        // total() order with the zero ovr term elided (bit-preserving).
+        const double total =
+            cs + c.tx_d[d] + c.rx_d[d] + c.stx + c.srx + p_sleep;
+        worst = std::max(worst, total);
+      }
+      energies[i] = worst * ctx_.energy_epoch;
+    }
+    if (latencies) {
+      double total = 0.5 * t_cycle;  // source_wait: half a cycle
+      for (int d = 0; d < depth; ++d) total += c.mu;
+      latencies[i] = total;
+    }
+    if (margins) {
+      const double load = c.f_out1 * t_cycle;
+      const double m_capacity = (cfg_.k_chain - load) / cfg_.k_chain;
+      const double m_schedule = (t_cycle - c.needed) / t_cycle;
+      margins[i] = std::min(m_capacity, m_schedule);
+    }
+  }
 }
 
 double DmacModel::feasibility_margin(const std::vector<double>& x) const {

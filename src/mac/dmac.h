@@ -62,14 +62,29 @@ class DmacModel final : public AnalyticMacModel {
   double source_wait(const std::vector<double>& x) const override;
   double feasibility_margin(const std::vector<double>& x) const override;
 
+  // SoA tight loop over a point block; bit-identical to the scalar entry
+  // points (mac/model.h batch contract).
+  void evaluate_batch(const double* xs, std::size_t n, double* energies,
+                      double* latencies, double* margins) const override;
+  bool has_batch_kernel() const override { return true; }
+
   const DmacConfig& config() const { return cfg_; }
 
   // Active slot width mu [s]: contention window + data + ACK + turnarounds.
   double slot_width() const;
 
  private:
+  // Batch-kernel invariants, precomputed once at construction (ctx and
+  // cfg are immutable afterwards) with the scalar path's expressions.
+  struct BatchCoeffs {
+    double mu = 0, cs_num = 0, stx = 0, srx = 0;
+    double f_out1 = 0, needed = 0;
+    std::vector<double> tx_d, rx_d;  // per ring, index d-1
+  };
+
   DmacConfig cfg_;
   ParamSpace space_;
+  BatchCoeffs bc_;
 };
 
 }  // namespace edb::mac

@@ -15,6 +15,25 @@ LmacModel::LmacModel(ModelContext ctx, LmacConfig cfg)
              "LMAC frame too short for collision-free slot assignment");
   EDB_ASSERT(cfg_.t_slot_min >= min_slot_width(),
              "minimum slot width cannot fit CM + data");
+
+  // Batch-kernel invariants (mac/lmac.h): scalar-path expressions over
+  // the now-frozen ctx/cfg.
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+  const int depth = ctx_.ring.depth;
+  const double t_cm = p.ctrl_airtime(r);
+  bc_.stx_num = r.t_startup * r.p_rx + t_cm * r.p_tx;
+  bc_.srx_num = (cfg_.n_slots - 1) * (r.t_startup + t_cm) * r.p_rx;
+  bc_.tx_d.resize(depth);
+  bc_.rx_d.resize(depth);
+  for (int d = 1; d <= depth; ++d) {
+    bc_.tx_d[d - 1] = traffic.f_out(d) * p.data_airtime(r) * r.p_tx;
+    bc_.rx_d[d - 1] = traffic.f_in(d) * p.data_airtime(r) * r.p_rx;
+  }
+  bc_.hop_k = 0.5 * cfg_.n_slots + 1.0;
+  bc_.min_slot = min_slot_width();
+  bc_.f_out1 = traffic.f_out(1);
 }
 
 namespace {
@@ -72,6 +91,43 @@ double LmacModel::hop_latency(const std::vector<double>& x, int) const {
   // Average wait for the node's own slot (uniform slot position in the
   // frame) plus the owned slot itself.
   return (0.5 * cfg_.n_slots + 1.0) * t_slot;
+}
+
+void LmacModel::evaluate_batch(const double* xs, std::size_t n,
+                               double* energies, double* latencies,
+                               double* margins) const {
+  check_block(xs, n);
+  const BatchCoeffs& c = bc_;
+  const int depth = ctx_.ring.depth;
+  const double p_sleep = ctx_.radio.p_sleep;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t_slot = xs[i];
+    if (energies) {
+      const double frame = cfg_.n_slots * t_slot;
+      const double stx = c.stx_num / frame;
+      const double srx = c.srx_num / frame;
+      double worst = 0.0;
+      for (int d = 0; d < depth; ++d) {
+        // total() order with the zero cs/ovr terms elided (bit-preserving).
+        const double total = c.tx_d[d] + c.rx_d[d] + stx + srx + p_sleep;
+        worst = std::max(worst, total);
+      }
+      energies[i] = worst * ctx_.energy_epoch;
+    }
+    if (latencies) {
+      const double hop = c.hop_k * t_slot;
+      double total = 0.0;  // source_wait() is 0 for LMAC
+      for (int d = 0; d < depth; ++d) total += hop;
+      latencies[i] = total;
+    }
+    if (margins) {
+      const double m_fit = (t_slot - c.min_slot) / t_slot;
+      const double load = c.f_out1 * (cfg_.n_slots * t_slot);
+      const double m_capacity = 1.0 - load;
+      margins[i] = std::min(m_fit, m_capacity);
+    }
+  }
 }
 
 double LmacModel::feasibility_margin(const std::vector<double>& x) const {

@@ -59,6 +59,12 @@ class LmacModel final : public AnalyticMacModel {
   double hop_latency(const std::vector<double>& x, int d) const override;
   double feasibility_margin(const std::vector<double>& x) const override;
 
+  // SoA tight loop over a point block; bit-identical to the scalar entry
+  // points (mac/model.h batch contract).
+  void evaluate_batch(const double* xs, std::size_t n, double* energies,
+                      double* latencies, double* margins) const override;
+  bool has_batch_kernel() const override { return true; }
+
   const LmacConfig& config() const { return cfg_; }
 
   double frame_length(const std::vector<double>& x) const {
@@ -68,8 +74,17 @@ class LmacModel final : public AnalyticMacModel {
   double min_slot_width() const;
 
  private:
+  // Batch-kernel invariants, precomputed once at construction (ctx and
+  // cfg are immutable afterwards) with the scalar path's expressions.
+  struct BatchCoeffs {
+    double stx_num = 0, srx_num = 0, hop_k = 0;
+    double min_slot = 0, f_out1 = 0;
+    std::vector<double> tx_d, rx_d;  // per ring, index d-1
+  };
+
   LmacConfig cfg_;
   ParamSpace space_;
+  BatchCoeffs bc_;
 };
 
 }  // namespace edb::mac

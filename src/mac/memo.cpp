@@ -68,4 +68,50 @@ double MemoizedMacModel::feasibility_margin(const std::vector<double>& x) const 
   });
 }
 
+void MemoizedMacModel::batch_metric(Cache& cache, const double* xs,
+                                    std::size_t n, std::size_t dim, int which,
+                                    double* out) const {
+  miss_xs_.clear();
+  miss_idx_.clear();
+  key_scratch_.resize(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* p = xs + i * dim;
+    key_scratch_.assign(p, p + dim);
+    auto it = cache.find(key_scratch_);
+    if (it != cache.end()) {
+      ++hits_;
+      out[i] = it->second;
+    } else {
+      // Duplicate misses within one block each reach the inner oracle
+      // (lattice blocks never repeat a point); values are identical, so
+      // the second install is a no-op.
+      miss_idx_.push_back(i);
+      miss_xs_.insert(miss_xs_.end(), p, p + dim);
+    }
+  }
+  if (miss_idx_.empty()) return;
+
+  const std::size_t m = miss_idx_.size();
+  miss_vals_.resize(m);
+  inner_.evaluate_batch(miss_xs_.data(), m,
+                        which == 0 ? miss_vals_.data() : nullptr,
+                        which == 1 ? miss_vals_.data() : nullptr,
+                        which == 2 ? miss_vals_.data() : nullptr);
+  misses_ += m;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double* p = miss_xs_.data() + j * dim;
+    out[miss_idx_[j]] = miss_vals_[j];
+    cache.emplace(std::vector<double>(p, p + dim), miss_vals_[j]);
+  }
+}
+
+void MemoizedMacModel::evaluate_batch(const double* xs, std::size_t n,
+                                      double* energies, double* latencies,
+                                      double* margins) const {
+  const std::size_t dim = params().dim();
+  if (energies) batch_metric(energy_cache_, xs, n, dim, 0, energies);
+  if (latencies) batch_metric(latency_cache_, xs, n, dim, 1, latencies);
+  if (margins) batch_metric(margin_cache_, xs, n, dim, 2, margins);
+}
+
 }  // namespace edb::mac

@@ -55,6 +55,23 @@ class MemoizedMacModel final : public AnalyticMacModel {
   double energy(const std::vector<double>& x) const override;
   double latency(const std::vector<double>& x) const override;
 
+  // Batch-aware caching: each requested metric is looked up per point
+  // (one reusable scratch key, no per-lookup allocation), the misses are
+  // gathered into a compact sub-block, evaluated through the inner
+  // model's block oracle in one call, and scattered back + installed.
+  // Values are bit-identical to the scalar path: the inner batch oracle
+  // honours the mac/model.h batch contract, so the cache ends up holding
+  // exactly what scalar evaluation would have stored.
+  void evaluate_batch(const double* xs, std::size_t n, double* energies,
+                      double* latencies, double* margins) const override;
+
+  // Forwarded cost signal: wrapping a kernel model in a memo is already a
+  // net loss (hash > recompute), so advertising the inner kernel keeps a
+  // second wrapper from stacking on top.
+  bool has_batch_kernel() const override {
+    return inner_.has_batch_kernel();
+  }
+
   const AnalyticMacModel& inner() const { return inner_; }
 
   // Cache statistics (for benches and tests).
@@ -68,12 +85,23 @@ class MemoizedMacModel final : public AnalyticMacModel {
   template <typename Eval>
   double cached(Cache& cache, const std::vector<double>& x, Eval eval) const;
 
+  // One metric's half of evaluate_batch: cache lookups, then one inner
+  // block call over the misses.  `which` selects the inner oracle's
+  // output slot (0 energy, 1 latency, 2 margin).
+  void batch_metric(Cache& cache, const double* xs, std::size_t n,
+                    std::size_t dim, int which, double* out) const;
+
   const AnalyticMacModel& inner_;
   mutable Cache energy_cache_;
   mutable Cache latency_cache_;
   mutable Cache margin_cache_;
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
+  // Scratch for evaluate_batch (the wrapper is single-threaded by design).
+  mutable std::vector<double> key_scratch_;
+  mutable std::vector<double> miss_xs_;
+  mutable std::vector<std::size_t> miss_idx_;
+  mutable std::vector<double> miss_vals_;
 };
 
 }  // namespace edb::mac

@@ -84,6 +84,19 @@ void AnalyticMacModel::check_params(const std::vector<double>& x) const {
              "parameter vector outside the model's box");
 }
 
+void AnalyticMacModel::check_block(const double* xs, std::size_t n) const {
+  const ParamSpace& ps = params();
+  constexpr double tol = 1e-9;  // matches check_params
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* p = xs + i * ps.dim();
+    for (std::size_t j = 0; j < ps.dim(); ++j) {
+      const ParamInfo& info = ps.info(j);
+      EDB_ASSERT(p[j] >= info.lo - tol && p[j] <= info.hi + tol,
+                 "parameter vector outside the model's box");
+    }
+  }
+}
+
 double AnalyticMacModel::energy(const std::vector<double>& x) const {
   double worst = 0.0;
   for (int d = 1; d <= ctx_.ring.depth; ++d) {
@@ -122,6 +135,22 @@ double AnalyticMacModel::latency(const std::vector<double>& x) const {
   double total = source_wait(x);
   for (int d = 1; d <= ctx_.ring.depth; ++d) total += hop_latency(x, d);
   return total;
+}
+
+void AnalyticMacModel::evaluate_batch(const double* xs, std::size_t n,
+                                      double* energies, double* latencies,
+                                      double* margins) const {
+  // Fallback: a scalar loop through the virtual entry points, so every
+  // model (and decorator) satisfies the batch contract by construction.
+  // One scratch vector is reused across the block.
+  std::vector<double> x(params().dim());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* p = xs + i * x.size();
+    x.assign(p, p + x.size());
+    if (energies) energies[i] = energy(x);
+    if (latencies) latencies[i] = latency(x);
+    if (margins) margins[i] = feasibility_margin(x);
+  }
 }
 
 }  // namespace edb::mac

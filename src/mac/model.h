@@ -136,12 +136,42 @@ class AnalyticMacModel {
   // Virtual for the same decorator hook as energy().
   virtual double latency(const std::vector<double>& x) const;
 
+  // Block-oracle entry point (opt/batch.h): evaluates a contiguous block
+  // of n parameter vectors, packed row-major (xs = n * params().dim()
+  // doubles), writing one value per point into each requested output
+  // array.  A null output array skips that metric entirely — callers pay
+  // only for what they ask (the fenced solvers ask for margins first and
+  // the raw metric only on feasible lanes).
+  //
+  // Contract: for every point i, energies[i] / latencies[i] / margins[i]
+  // are bit-identical to energy(x_i) / latency(x_i) /
+  // feasibility_margin(x_i).  The base implementation is a scalar loop
+  // over those virtuals (so every model and decorator satisfies the
+  // contract by construction); the hot paper models override it with SoA
+  // tight loops that hoist the per-call invariants and keep the per-point
+  // arithmetic in the scalar evaluation order
+  // (tests/mac_batch_parity_test.cpp asserts the hex-float equality).
+  virtual void evaluate_batch(const double* xs, std::size_t n,
+                              double* energies, double* latencies,
+                              double* margins) const;
+
+  // True when evaluate_batch is a native SoA kernel (constant-hoisted
+  // tight loop) rather than the scalar-loop fallback.  Consumers use this
+  // as a cost signal: re-evaluating a kernel model is cheaper than a hash
+  // lookup, so the scenario engine skips memoization for kernel models
+  // (core/engine.h) — a pure cost decision, values are identical either
+  // way.
+  virtual bool has_batch_kernel() const { return false; }
+
   const ModelContext& context() const { return ctx_; }
 
  protected:
   // Checks x dimension and box membership (asserts on violation; models are
   // always called through solvers that clamp first).
   void check_params(const std::vector<double>& x) const;
+  // Same box-membership assertion over a packed point block, for the
+  // evaluate_batch overrides (mirrors the scalar path's per-call check).
+  void check_block(const double* xs, std::size_t n) const;
 
   ModelContext ctx_;
 };

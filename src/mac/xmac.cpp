@@ -11,6 +11,37 @@ XmacModel::XmacModel(ModelContext ctx, XmacConfig cfg)
              "X-MAC wake-interval bounds invalid");
   EDB_ASSERT(cfg_.tw_min > 2.0 * strobe_period(),
              "wake interval must exceed two strobe periods");
+
+  // Batch-kernel invariants (mac/xmac.h): every field is evaluated with
+  // the scalar path's exact expression over the now-frozen ctx/cfg.
+  const auto& r = ctx_.radio;
+  const auto& p = ctx_.packet;
+  const net::RingTraffic traffic = ctx_.traffic();
+  const int depth = ctx_.ring.depth;
+  const double t_strobe = p.strobe_airtime(r);
+  bc_.t_data = p.data_airtime(r);
+  bc_.t_ack = p.ack_airtime(r);
+  bc_.sp = strobe_period();
+  const double t_gap = bc_.sp - t_strobe;
+  const double rho = t_strobe / (t_strobe + t_gap);
+  bc_.cs_num = r.p_rx * r.poll_duration();
+  bc_.tx_k = rho * r.p_tx + (1.0 - rho) * r.p_rx;
+  bc_.tx_ack = bc_.t_ack * r.p_rx;
+  bc_.tx_data = bc_.t_data * r.p_tx;
+  const double e_rx_pkt =
+      (t_strobe + t_gap) * r.p_rx + bc_.t_ack * r.p_tx + bc_.t_data * r.p_rx;
+  constexpr double kPollHitsPreamble = 0.5;  // (Tw/2) / Tw
+  bc_.f_out.resize(depth);
+  bc_.rx_d.resize(depth);
+  bc_.ovr_d.resize(depth);
+  for (int d = 1; d <= depth; ++d) {
+    bc_.f_out[d - 1] = traffic.f_out(d);
+    bc_.rx_d[d - 1] = traffic.f_in(d) * e_rx_pkt;
+    bc_.ovr_d[d - 1] =
+        traffic.f_bg(d) * kPollHitsPreamble * (t_strobe + t_gap) * r.p_rx;
+  }
+  bc_.fsum = traffic.f_out(1) + traffic.f_in(1);
+  bc_.two_sp = 2.0 * bc_.sp;
 }
 
 namespace {
@@ -74,6 +105,46 @@ double XmacModel::hop_latency(const std::vector<double>& x, int) const {
   const auto& r = ctx_.radio;
   const auto& p = ctx_.packet;
   return 0.5 * tw + strobe_period() + p.ack_airtime(r) + p.data_airtime(r);
+}
+
+void XmacModel::evaluate_batch(const double* xs, std::size_t n,
+                               double* energies, double* latencies,
+                               double* margins) const {
+  check_block(xs, n);
+  const BatchCoeffs& c = bc_;
+  const int depth = ctx_.ring.depth;
+  const double p_sleep = ctx_.radio.p_sleep;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tw = xs[i];
+    if (energies) {
+      const double cs = c.cs_num / tw;
+      const double e_tx_pkt = 0.5 * tw * c.tx_k + c.tx_ack + c.tx_data;
+      double worst = 0.0;
+      for (int d = 0; d < depth; ++d) {
+        // PowerBreakdown::total() order, zero stx/srx terms elided
+        // (x + 0.0 == x bitwise for these non-negative finite sums).
+        const double total =
+            cs + c.f_out[d] * e_tx_pkt + c.rx_d[d] + c.ovr_d[d] + p_sleep;
+        worst = std::max(worst, total);
+      }
+      energies[i] = worst * ctx_.energy_epoch;
+    }
+    if (latencies) {
+      const double hop = 0.5 * tw + c.sp + c.t_ack + c.t_data;
+      double total = 0.0;  // source_wait() is 0 for X-MAC
+      for (int d = 0; d < depth; ++d) total += hop;
+      latencies[i] = total;
+    }
+    if (margins) {
+      const double per_pkt = 0.5 * tw + c.t_data + c.t_ack;
+      const double busy = c.fsum * per_pkt;
+      const double m_util =
+          (cfg_.max_utilisation - busy) / cfg_.max_utilisation;
+      const double m_strobe = (tw - c.two_sp) / tw;
+      margins[i] = std::min(m_util, m_strobe);
+    }
+  }
 }
 
 double XmacModel::feasibility_margin(const std::vector<double>& x) const {

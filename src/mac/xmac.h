@@ -56,14 +56,34 @@ class XmacModel final : public AnalyticMacModel {
   double hop_latency(const std::vector<double>& x, int d) const override;
   double feasibility_margin(const std::vector<double>& x) const override;
 
+  // SoA tight loop over a point block: per-call invariants (airtimes,
+  // strobe geometry, per-ring traffic rates) hoisted once, per-point
+  // arithmetic kept in the scalar order — bit-identical to the scalar
+  // entry points (mac/model.h batch contract).
+  void evaluate_batch(const double* xs, std::size_t n, double* energies,
+                      double* latencies, double* margins) const override;
+  bool has_batch_kernel() const override { return true; }
+
   const XmacConfig& config() const { return cfg_; }
 
   // Strobe period: one strobe plus the early-ACK listening gap [s].
   double strobe_period() const;
 
  private:
+  // Invariants of the batch kernel, precomputed once at construction
+  // (ctx and cfg are immutable afterwards).  Each field is evaluated with
+  // the scalar path's exact expression so the kernel's per-point
+  // arithmetic reproduces the scalar bits.
+  struct BatchCoeffs {
+    double t_data = 0, t_ack = 0, sp = 0;
+    double cs_num = 0, tx_k = 0, tx_ack = 0, tx_data = 0;
+    double fsum = 0, two_sp = 0;
+    std::vector<double> f_out, rx_d, ovr_d;  // per ring, index d-1
+  };
+
   XmacConfig cfg_;
   ParamSpace space_;
+  BatchCoeffs bc_;
 };
 
 }  // namespace edb::mac

@@ -1,0 +1,50 @@
+// Block oracles: objective/constraint evaluation over contiguous point
+// blocks.
+//
+// The scalar `Objective` costs one `std::function` dispatch, one
+// `std::vector` walk and (in the callers that build the point) one heap
+// allocation *per evaluated point*.  The dense-scan solvers (opt/grid.h,
+// opt/pareto.h) evaluate tens of thousands of lattice points per solve,
+// which makes that per-point overhead the dominant cost of a cold solve.
+// A `BatchObjective` amortises it: the solver packs a whole block of
+// points into one contiguous buffer and makes a single oracle call; the
+// oracle writes one value per point into a caller-owned span.
+//
+// Contract: a batch oracle must be *bit-identical* to the scalar oracle
+// it replaces — values[i] carries exactly the double the scalar call
+// would have returned for point i, for every i, in any block chunking.
+// The solvers rely on this to keep batched and scalar solves identical
+// (DESIGN.md §2, tests/opt_batch_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "opt/types.h"
+
+namespace edb::opt {
+
+// A contiguous block of `n` points of dimension `dim`, packed row-major:
+// point i occupies xs[i*dim .. (i+1)*dim).  The block does not own its
+// storage; it is a view into the caller's scratch buffer.
+struct PointBlock {
+  const double* xs = nullptr;
+  std::size_t n = 0;
+  std::size_t dim = 0;
+
+  const double* point(std::size_t i) const { return xs + i * dim; }
+};
+
+// Evaluates every point of a block: values[i] = f(point i), i in [0, n).
+// `values` is caller-owned and holds at least n doubles.
+using BatchObjective = std::function<void(const PointBlock&, double* values)>;
+
+// Same shape for constraint slacks (signed: > 0 is strictly feasible).
+using BatchConstraint = BatchObjective;
+
+// Backward-compatibility adapter: wraps a scalar objective in a per-point
+// loop.  One scratch vector is reused across points and calls, so the
+// only per-point cost left is the scalar dispatch itself.
+BatchObjective batch_from_scalar(Objective f);
+
+}  // namespace edb::opt

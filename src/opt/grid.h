@@ -5,8 +5,26 @@
 // `grid_refine_min` repeatedly shrinks the box around the incumbent
 // (factor `zoom` per round), giving ~machine-precision optima on smooth
 // 1-2 D problems at modest cost.
+//
+// Both entry points exist in two oracle flavours:
+//
+//   scalar (`Objective`)      — the reference implementation: one oracle
+//                               call per lattice point;
+//   batched (`BatchObjective`) — the fast path: lattice points are packed
+//                               into contiguous blocks and each block is
+//                               one oracle call, with scratch buffers
+//                               reused across blocks and zoom rounds.
+//
+// The two flavours visit the same lattice in the same order with the same
+// tie-breaking, so for oracles satisfying the batch contract (opt/batch.h)
+// they return bit-identical x/value/evaluations — asserted by
+// tests/opt_batch_test.cpp.  Zoom rounds seed the pass with the inherited
+// incumbent: the refined lattice is snapped to contain the incumbent point
+// exactly, and its known value is reused instead of re-calling the oracle
+// on it.
 #pragma once
 
+#include "opt/batch.h"
 #include "opt/bounds.h"
 #include "opt/types.h"
 
@@ -21,9 +39,13 @@ struct GridOptions {
 // Single-pass dense search over `box`.
 VectorResult grid_min(const Objective& f, const Box& box,
                       int points_per_dim = 101);
+VectorResult grid_min(const BatchObjective& f, const Box& box,
+                      int points_per_dim = 101);
 
 // Multi-round zooming search.
 VectorResult grid_refine_min(const Objective& f, const Box& box,
+                             const GridOptions& opts = {});
+VectorResult grid_refine_min(const BatchObjective& f, const Box& box,
                              const GridOptions& opts = {});
 
 }  // namespace edb::opt

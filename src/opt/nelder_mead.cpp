@@ -51,6 +51,17 @@ VectorResult nelder_mead_min(const Objective& f, const Box& box,
     return a.value < b.value;
   };
 
+  // Iteration scratch, reused across iterations (the inner loop runs for
+  // thousands of iterations per solve; per-iteration vector allocations
+  // would dominate the 1-2 D arithmetic).  Values and evaluation order
+  // are unchanged — only the storage is hoisted.
+  std::vector<double> centroid(n), xr(n), xe(n), xc(n);
+  auto clamp_into = [&box, n](std::vector<double>& x) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = clamp(x[i], box.lo(i), box.hi(i));
+    }
+  };
+
   bool converged = false;
   for (int it = 0; it < opts.max_iterations; ++it) {
     std::sort(simplex.begin(), simplex.end(), by_value);
@@ -73,41 +84,43 @@ VectorResult nelder_mead_min(const Objective& f, const Box& box,
     }
 
     // Centroid of all but the worst vertex.
-    std::vector<double> centroid(n, 0.0);
+    centroid.assign(n, 0.0);
     for (std::size_t v = 0; v < n; ++v) {
       for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[v].x[i];
     }
     for (double& c : centroid) c /= static_cast<double>(n);
 
-    auto affine = [&](double coef) {
-      std::vector<double> x(n);
+    auto affine = [&](double coef, std::vector<double>& x) {
       for (std::size_t i = 0; i < n; ++i) {
         x[i] = centroid[i] + coef * (centroid[i] - simplex.back().x[i]);
       }
-      return box.clamp(std::move(x));
+      clamp_into(x);
     };
 
-    const std::vector<double> xr = affine(kReflect);
+    affine(kReflect, xr);
     const double fr = eval(xr);
 
     if (fr < simplex.front().value) {
-      const std::vector<double> xe = affine(kExpand);
+      affine(kExpand, xe);
       const double fe = eval(xe);
-      simplex.back() = (fe < fr) ? Vertex{xe, fe} : Vertex{xr, fr};
+      // Copy-assign into the existing vertex storage (no allocation).
+      simplex.back().x = (fe < fr) ? xe : xr;
+      simplex.back().value = (fe < fr) ? fe : fr;
     } else if (fr < simplex[n - 1].value) {
-      simplex.back() = {xr, fr};
+      simplex.back().x = xr;
+      simplex.back().value = fr;
     } else {
       // Contract (outside if the reflection improved on the worst).
       const bool outside = fr < simplex.back().value;
-      std::vector<double> xc(n);
       const auto& worst = outside ? xr : simplex.back().x;
       for (std::size_t i = 0; i < n; ++i) {
         xc[i] = centroid[i] + kContract * (worst[i] - centroid[i]);
       }
-      xc = box.clamp(std::move(xc));
+      clamp_into(xc);
       const double fc = eval(xc);
       if (fc < std::min(fr, simplex.back().value)) {
-        simplex.back() = {xc, fc};
+        simplex.back().x = xc;
+        simplex.back().value = fc;
       } else {
         // Shrink toward the best vertex.
         for (std::size_t v = 1; v <= n; ++v) {
@@ -115,7 +128,7 @@ VectorResult nelder_mead_min(const Objective& f, const Box& box,
             simplex[v].x[i] = simplex[0].x[i] +
                               kShrink * (simplex[v].x[i] - simplex[0].x[i]);
           }
-          simplex[v].x = box.clamp(std::move(simplex[v].x));
+          clamp_into(simplex[v].x);
           simplex[v].value = eval(simplex[v].x);
         }
       }

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "opt/batch.h"
 #include "opt/bounds.h"
 #include "opt/types.h"
 
@@ -34,6 +35,16 @@ std::vector<ParetoPoint> pareto_filter(std::vector<ParetoPoint> points);
 std::vector<ParetoPoint> trace_frontier(const Objective& f1,
                                         const Objective& f2, const Box& box,
                                         const Constraint& feasible_slack,
+                                        const ParetoOptions& opts = {});
+
+// Block-oracle flavour of the same scan (opt/batch.h): the lattice is
+// evaluated in contiguous blocks — feasibility first, then f1/f2 only on
+// the feasible lanes — and yields the same point set in the same order as
+// the scalar overload for oracles satisfying the batch contract.
+std::vector<ParetoPoint> trace_frontier(const BatchObjective& f1,
+                                        const BatchObjective& f2,
+                                        const Box& box,
+                                        const BatchConstraint& feasible_slack,
                                         const ParetoOptions& opts = {});
 
 }  // namespace edb::opt

@@ -23,8 +23,18 @@ struct ScalarResult {
 struct VectorResult {
   std::vector<double> x;
   double value = 0;
-  int evaluations = 0;
+  int evaluations = 0;   // scalar-equivalent oracle evaluations (points)
+  int blocks = 0;        // block-oracle invocations (0 on scalar paths)
+  double oracle_ns = 0;  // wall time spent inside the block oracle [ns]
   bool converged = false;
+
+  // Folds another result's cost counters into this one (solver stages
+  // accumulate evaluations across rounds and solver families).
+  void absorb_cost(const VectorResult& o) {
+    evaluations += o.evaluations;
+    blocks += o.blocks;
+    oracle_ns += o.oracle_ns;
+  }
 };
 
 }  // namespace edb::opt
