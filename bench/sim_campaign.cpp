@@ -1,0 +1,208 @@
+// Validation-atlas bench: sim campaigns vs analytic models over the
+// catalog, with throughput and error-bound tracking.
+//
+//   $ ./sim_campaign [threads] [replications] [per_family_cap]
+//                    [baseline.json] [atlas.csv]
+//
+// threads         campaign fan width (default 4; 0 = hardware)
+// replications    per scenario (default 3; CI runs a reduced 1)
+// per_family_cap  scenarios per family, 0 = full catalog
+// baseline.json   optional bench/baselines/BENCH_sim.baseline.json; when
+//                 given, mean per-family error or per-replication event
+//                 cost regressing >10% beyond it fails the run
+// atlas.csv       optional per-scenario error-table dump
+//
+// When threads > 1 the same campaign also runs single-threaded: the
+// speedup lands in BENCH_sim.json and the two runs' fingerprints are
+// byte-compared — CI re-proves the campaign determinism contract on
+// every push.  Writes BENCH_sim.json next to the binary.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "catalog/validation.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+// Minimal flat-JSON number lookup, mirroring solve_cold's baseline
+// reader: finds "key": value in a one-object file.
+double json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edb;
+  int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (threads <= 0) threads = ThreadPool::hardware_threads();
+  const int replications = argc > 2 ? std::atoi(argv[2]) : 3;
+  const std::size_t cap =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 0;
+  // "" and "-" skip the baseline check (lets callers reach the csv arg).
+  const char* baseline_path =
+      argc > 4 && argv[4][0] && std::strcmp(argv[4], "-") != 0 ? argv[4]
+                                                               : nullptr;
+  const char* csv_path = argc > 5 ? argv[5] : nullptr;
+
+  const catalog::Catalog cat = catalog::Catalog::builtin();
+  catalog::ValidationOptions opts;
+  opts.replications = replications;
+  opts.threads = threads;
+  opts.parallel = threads > 1;
+  opts.per_family_cap = cap;
+
+  std::printf("== Validation atlas: sim campaigns vs analytic models ==\n");
+  std::printf("%zu families (cap %zu), R = %d, campaign width %d\n\n",
+              cat.families().size(), cap, replications, threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto atlas = catalog::run_validation_atlas(cat, opts);
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+
+  Table table({"family", "scenarios", "dP mean", "dP max", "dL mean",
+               "dL max", "delivery"});
+  Welford power_err, latency_err;
+  for (const auto& fam : atlas.families) {
+    if (fam.scenarios == 0) continue;
+    char c[6][32];
+    std::snprintf(c[0], 32, "%zu", fam.scenarios);
+    std::snprintf(c[1], 32, "%.0f%%", 100 * fam.power_err.mean());
+    std::snprintf(c[2], 32, "%.0f%%", 100 * fam.power_err.max());
+    std::snprintf(c[3], 32, "%.0f%%", 100 * fam.latency_err.mean());
+    std::snprintf(c[4], 32, "%.0f%%", 100 * fam.latency_err.max());
+    std::snprintf(c[5], 32, "%.3f", fam.delivery.mean());
+    table.row({fam.family, c[0], c[1], c[2], c[3], c[4], c[5]});
+    power_err.merge(fam.power_err);
+    latency_err.merge(fam.latency_err);
+  }
+  table.print(std::cout);
+
+  const double reps_per_sec = 1e3 * atlas.replications / elapsed_ms;
+  std::printf("\n%zu scenarios simulated (%zu skipped), %zu replications, "
+              "%llu kernel events in %.0f ms — %.1f replications/s\n",
+              atlas.simulated, atlas.skipped, atlas.replications,
+              static_cast<unsigned long long>(atlas.events), elapsed_ms,
+              reps_per_sec);
+  std::printf("sim-vs-model |rel err|: power mean %.1f%% max %.1f%%, "
+              "latency mean %.1f%% max %.1f%%\n",
+              100 * power_err.mean(), 100 * power_err.max(),
+              100 * latency_err.mean(), 100 * latency_err.max());
+
+  // Parallel campaigns must be byte-identical to sequential ones; re-run
+  // single-threaded to measure the speedup and prove it.
+  double speedup = 1.0;
+  bool identical = true;
+  if (threads > 1) {
+    catalog::ValidationOptions seq = opts;
+    seq.threads = 1;
+    seq.parallel = false;
+    const auto seq_start = std::chrono::steady_clock::now();
+    const auto seq_atlas = catalog::run_validation_atlas(cat, seq);
+    const double seq_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - seq_start)
+                              .count();
+    speedup = seq_ms / elapsed_ms;
+    identical = seq_atlas.rows.size() == atlas.rows.size();
+    for (std::size_t i = 0; identical && i < atlas.rows.size(); ++i) {
+      identical = seq_atlas.rows[i].fingerprint == atlas.rows[i].fingerprint;
+    }
+    std::printf("single-thread %.0f ms -> %.2fx speedup at %d threads; "
+                "fingerprints %s\n",
+                seq_ms, speedup, threads,
+                identical ? "byte-identical" : "MISMATCH");
+  }
+
+  if (csv_path) {
+    std::ofstream csv(csv_path);
+    if (!csv) {
+      std::cerr << "cannot open " << csv_path << "\n";
+      return 1;
+    }
+    catalog::write_validation_csv(csv, atlas);
+    std::printf("wrote %s\n", csv_path);
+  }
+
+  bench::BenchJson json;
+  json.integer("scenarios", static_cast<long long>(atlas.simulated));
+  json.integer("skipped", static_cast<long long>(atlas.skipped));
+  json.integer("replications", static_cast<long long>(atlas.replications));
+  json.integer("events", static_cast<long long>(atlas.events));
+  json.integer("threads", threads);
+  json.number("elapsed_ms", elapsed_ms);
+  json.number("replications_per_sec", reps_per_sec);
+  json.number("speedup_vs_single", speedup);
+  json.number("mean_power_rel_err", power_err.mean());
+  json.number("max_power_rel_err", power_err.max());
+  json.number("mean_latency_rel_err", latency_err.mean());
+  json.number("max_latency_rel_err", latency_err.max());
+  json.number("events_per_replication",
+              atlas.replications
+                  ? static_cast<double>(atlas.events) / atlas.replications
+                  : 0.0);
+  json.write_file("BENCH_sim.json");
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel and sequential campaigns disagree\n");
+    return 1;
+  }
+
+  if (baseline_path) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path);
+      return 1;
+    }
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    bool ok = true;
+    const auto check = [&](const char* key, double measured) {
+      const double base = json_number(text, key);
+      if (base <= 0) {
+        std::fprintf(stderr, "baseline missing %s\n", key);
+        ok = false;
+        return;
+      }
+      // NaN means the metric became unmeasurable (e.g. nothing delivered
+      // from the deep rings) — that is a failure, not a pass.
+      if (std::isnan(measured)) {
+        std::fprintf(stderr, "FAIL: %s is NaN (metric unmeasurable)\n", key);
+        ok = false;
+        return;
+      }
+      if (measured > 1.10 * base) {
+        std::fprintf(stderr,
+                     "FAIL: %s regressed: %.4g vs baseline %.4g (+%.0f%%, "
+                     "budget 10%%)\n",
+                     key, measured, base, 100 * (measured / base - 1));
+        ok = false;
+      } else {
+        std::printf("baseline %s: %.4g vs %.4g ok\n", key, measured, base);
+      }
+    };
+    check("mean_power_rel_err", power_err.mean());
+    check("mean_latency_rel_err", latency_err.mean());
+    check("events_per_replication",
+          atlas.replications
+              ? static_cast<double>(atlas.events) / atlas.replications
+              : 0.0);
+    if (!ok) return 1;
+  }
+  return 0;
+}

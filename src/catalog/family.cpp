@@ -3,11 +3,16 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "util/fingerprint.h"
+
 namespace edb::catalog {
 namespace {
 
 // Local FNV-1a (same constants as service/key.h, but catalog sits below
-// the service layer and must not reach up into it).
+// the service layer and must not reach up into it).  The splitmix mixing
+// rounds come from util/rng.h and the fingerprint field encoders from
+// util/fingerprint.h — the shared definitions the campaign layer also
+// uses, so the catalog and sim determinism contracts cannot drift apart.
 std::uint64_t fnv1a64(std::string_view s) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (unsigned char c : s) {
@@ -17,26 +22,8 @@ std::uint64_t fnv1a64(std::string_view s) {
   return h;
 }
 
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-void put(std::string& out, const char* name, double v) {
-  char buf[48];
-  // Hex floats are bit-exact: two doubles render identically iff they are
-  // the same bits, which is exactly the identity the contract promises.
-  std::snprintf(buf, sizeof buf, "%s=%a;", name, v);
-  out += buf;
-}
-
-void put_u64(std::string& out, const char* name, std::uint64_t v) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%s=%" PRIu64 ";", name, v);
-  out += buf;
-}
+constexpr auto put = fingerprint_put;
+constexpr auto put_u64 = fingerprint_put_u64;
 
 }  // namespace
 

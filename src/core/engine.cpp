@@ -7,31 +7,8 @@
 #include <utility>
 
 #include "mac/memo.h"
-#include "util/thread_pool.h"
 
 namespace edb::core {
-
-void SequentialExecutor::run(std::size_t n,
-                             const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i) fn(i);
-}
-
-struct ParallelExecutor::Impl {
-  explicit Impl(int threads) : pool(threads) {}
-  ThreadPool pool;
-};
-
-ParallelExecutor::ParallelExecutor(int threads)
-    : impl_(std::make_unique<Impl>(threads)) {}
-
-ParallelExecutor::~ParallelExecutor() = default;
-
-void ParallelExecutor::run(std::size_t n,
-                           const std::function<void(std::size_t)>& fn) {
-  impl_->pool.parallel_for(n, fn);
-}
-
-int ParallelExecutor::threads() const { return impl_->pool.size(); }
 
 namespace {
 
@@ -51,15 +28,11 @@ struct MemoScope {
   const mac::AnalyticMacModel* model;
 };
 
-std::unique_ptr<Executor> make_executor(const EngineOptions& opts) {
-  if (opts.parallel) return std::make_unique<ParallelExecutor>(opts.threads);
-  return std::make_unique<SequentialExecutor>();
-}
-
 }  // namespace
 
 ScenarioEngine::ScenarioEngine(EngineOptions opts)
-    : opts_(opts), executor_(make_executor(opts)) {}
+    : opts_(opts), executor_(engine::make_executor(opts.threads,
+                                                   opts.parallel)) {}
 
 ScenarioEngine::ScenarioEngine(EngineOptions opts,
                                std::unique_ptr<Executor> executor)
@@ -209,7 +182,7 @@ std::vector<Expected<BargainingOutcome>> ScenarioEngine::solve_batch(
   std::vector<Expected<BargainingOutcome>> out(
       jobs.size(), Expected<BargainingOutcome>(
                        make_error(ErrorCode::kInternal, "not solved")));
-  executor_->run(jobs.size(), [&](std::size_t i) {
+  engine::fan_apply(*executor_, jobs.size(), [&](std::size_t i) {
     EDB_ASSERT(jobs[i].model != nullptr, "solve job needs a model");
     MemoScope scope(*jobs[i].model, opts_.memoize);
     out[i] = solve_one(*scope.model, jobs[i].req, jobs[i].alpha,
@@ -292,8 +265,9 @@ std::vector<SweepResult> ScenarioEngine::run_sweeps(
     // feasibility margin do not depend on the swept requirement, so
     // neighbouring cells (identical solver trajectories on saturated
     // plateaus) re-hit each other's evaluations.
-    executor_->run(jobs.size(),
-                   [&](std::size_t i) { sweep_chain(jobs[i], results[i]); });
+    engine::fan_apply(*executor_, jobs.size(), [&](std::size_t i) {
+      sweep_chain(jobs[i], results[i]);
+    });
     return results;
   }
 
@@ -308,7 +282,7 @@ std::vector<SweepResult> ScenarioEngine::run_sweeps(
       flat.emplace_back(i, j);
     }
   }
-  executor_->run(flat.size(), [&](std::size_t k) {
+  engine::fan_apply(*executor_, flat.size(), [&](std::size_t k) {
     const auto [i, j] = flat[k];
     MemoScope scope(*jobs[i].model, opts_.memoize);
     SolveHints hints;

@@ -3,10 +3,11 @@
 // Every cell of a requirement sweep and every per-protocol bargaining
 // solve is independent of the others, so the figure pipelines are
 // embarrassingly parallel.  The engine partitions that work
-// deterministically: each job (or cell) owns a preallocated output slot,
-// executors only decide *when* a slot is computed, never *what* goes in
-// it, so a parallel run and a sequential run of the same jobs produce
-// bit-identical results.
+// deterministically through the generic fan primitive (engine/fan.h —
+// also the backend of sim::Campaign): each job (or cell) owns a
+// preallocated output slot, executors only decide *when* a slot is
+// computed, never *what* goes in it, so a parallel run and a sequential
+// run of the same jobs produce bit-identical results.
 //
 // Two further accelerations, both optional and both value-preserving
 // within the solver cross-check tolerance (DESIGN.md §2):
@@ -48,42 +49,16 @@
 #include <vector>
 
 #include "core/sweep.h"
+#include "engine/fan.h"
 
 namespace edb::core {
 
-// Executes a batch of index-addressed tasks.  Implementations must invoke
-// fn(i) exactly once for every i in [0, n).
-class Executor {
- public:
-  virtual ~Executor() = default;
-  virtual const char* name() const = 0;
-  virtual void run(std::size_t n,
-                   const std::function<void(std::size_t)>& fn) = 0;
-};
-
-// The seed's behaviour: tasks run in index order on the calling thread.
-class SequentialExecutor final : public Executor {
- public:
-  const char* name() const override { return "sequential"; }
-  void run(std::size_t n,
-           const std::function<void(std::size_t)>& fn) override;
-};
-
-// Tasks run on a deterministic fixed-size thread pool (util/thread_pool.h).
-class ParallelExecutor final : public Executor {
- public:
-  explicit ParallelExecutor(int threads = 0);
-  ~ParallelExecutor() override;
-
-  const char* name() const override { return "parallel"; }
-  void run(std::size_t n,
-           const std::function<void(std::size_t)>& fn) override;
-  int threads() const;
-
- private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
-};
+// The solve-agnostic fan-out plumbing lives one layer down in
+// engine/fan.h (shared with the simulation campaign layer); these aliases
+// keep the historical core spellings working for every existing consumer.
+using Executor = engine::Executor;
+using SequentialExecutor = engine::SequentialExecutor;
+using ParallelExecutor = engine::ParallelExecutor;
 
 struct EngineOptions {
   int threads = 0;         // ParallelExecutor width; 0 = hardware threads

@@ -1,0 +1,34 @@
+#include "engine/fan.h"
+
+#include "util/thread_pool.h"
+
+namespace edb::engine {
+
+void SequentialExecutor::run(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+struct ParallelExecutor::Impl {
+  explicit Impl(int threads) : pool(threads) {}
+  ThreadPool pool;
+};
+
+ParallelExecutor::ParallelExecutor(int threads)
+    : impl_(std::make_unique<Impl>(threads)) {}
+
+ParallelExecutor::~ParallelExecutor() = default;
+
+void ParallelExecutor::run(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  impl_->pool.parallel_for(n, fn);
+}
+
+int ParallelExecutor::threads() const { return impl_->pool.size(); }
+
+std::unique_ptr<Executor> make_executor(int threads, bool parallel) {
+  if (parallel) return std::make_unique<ParallelExecutor>(threads);
+  return std::make_unique<SequentialExecutor>();
+}
+
+}  // namespace edb::engine

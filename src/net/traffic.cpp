@@ -11,6 +11,14 @@ Expected<bool> TrafficModel::validate() const {
     return make_error(ErrorCode::kInvalidArgument,
                       "jitter fraction must be in [0, 1)");
   }
+  if (burst_factor < 1.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "burst factor must be >= 1");
+  }
+  if (arrivals == ArrivalProcess::kBursty && burst_factor <= 1.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bursty arrivals need a burst factor > 1");
+  }
   return true;
 }
 
@@ -20,6 +28,22 @@ double TrafficModel::initial_phase(Rng& rng) const {
 
 double TrafficModel::next_generation_time(double previous_nominal,
                                           Rng& rng) const {
+  switch (arrivals) {
+    case ArrivalProcess::kPoisson:
+      return previous_nominal + rng.exponential(fs);
+    case ArrivalProcess::kBursty: {
+      // Two-point mixture preserving the mean: E[interval] =
+      // (B-1)/B * T/B + 1/B * T * (B - (B-1)/B) = T.
+      const double b = burst_factor;
+      const double t = period();
+      if (rng.uniform() < (b - 1.0) / b) {
+        return previous_nominal + t / b;              // intra-burst gap
+      }
+      return previous_nominal + t * (b - (b - 1.0) / b);  // inter-burst gap
+    }
+    case ArrivalProcess::kPeriodic:
+      break;
+  }
   const double jitter = jitter_frac * period();
   return previous_nominal + period() + rng.uniform(-jitter, jitter);
 }

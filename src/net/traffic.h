@@ -1,9 +1,20 @@
-// Application traffic model: periodic sensing with optional jitter.
+// Application traffic model: periodic sensing with optional jitter,
+// memoryless (Poisson) arrivals, or clustered bursts.
 //
-// The analytic models only need the rate `fs`; the simulator also needs
-// concrete generation instants, which `next_generation_time` provides
-// (periodic with uniform phase and optional +/- jitter fraction, the usual
-// desynchronised-sensors assumption).
+// The analytic models only need the mean rate `fs`; the simulator also
+// needs concrete generation instants, which `next_generation_time`
+// provides.  Three arrival processes share the same mean rate, so the
+// analytic predictions stay comparable across all of them:
+//
+//   periodic — nominal period 1/fs with uniform phase and +/- jitter
+//              (the usual desynchronised-sensors assumption),
+//   poisson  — exponential inter-generation times (catalog family
+//              "poisson-traffic"),
+//   bursty   — a two-point interval mixture with peak-to-mean ratio
+//              `burst_factor`: short intra-burst gaps of period/B with
+//              probability (B-1)/B and one long inter-burst gap chosen so
+//              the mean interval stays exactly 1/fs (catalog family
+//              "bursty-traffic").
 #pragma once
 
 #include "util/error.h"
@@ -11,9 +22,14 @@
 
 namespace edb::net {
 
+enum class ArrivalProcess { kPeriodic, kPoisson, kBursty };
+
 struct TrafficModel {
-  double fs = 6.5e-5;        // per-source sampling rate [packets/s]
+  double fs = 6.5e-5;        // per-source mean sampling rate [packets/s]
   double jitter_frac = 0.1;  // uniform jitter as a fraction of the period
+                             // (periodic arrivals only)
+  ArrivalProcess arrivals = ArrivalProcess::kPeriodic;
+  double burst_factor = 1.0;  // peak-to-mean ratio B (bursty arrivals)
 
   double period() const { return 1.0 / fs; }
 
@@ -22,8 +38,8 @@ struct TrafficModel {
   // Random initial phase in [0, period).
   double initial_phase(Rng& rng) const;
 
-  // Next generation instant after `now`, given the previous nominal instant.
-  // Returns nominal + period +/- jitter.
+  // Next generation instant after the previous nominal instant; the mean
+  // increment is period() for every arrival process.
   double next_generation_time(double previous_nominal, Rng& rng) const;
 };
 

@@ -1,9 +1,16 @@
 // Event primitives for the discrete-event kernel.
+//
+// Event records are pooled by the Scheduler (no per-event heap churn in
+// the hot loop): a fired or skipped record goes back on a free list and
+// is handed to a later schedule_at.  Handles are therefore generation
+// tagged — recycling a record bumps its generation, which atomically
+// inertifies every handle to its previous life.  A handle must not
+// outlive the scheduler that issued it (in practice handles live inside
+// MAC protocols, which a Simulation destroys before its scheduler).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 
 namespace edb::sim {
 
@@ -12,25 +19,31 @@ using EventFn = std::function<void()>;
 namespace internal {
 struct EventRecord {
   EventFn fn;
+  std::uint64_t gen = 0;
   bool cancelled = false;
 };
 }  // namespace internal
 
-// Cancellable handle to a scheduled event.  Default-constructed handles are
-// inert; cancelling after the event fired is a no-op.
+// Cancellable handle to a scheduled event.  Default-constructed handles
+// are inert; cancelling after the event fired (or after its record was
+// recycled into a new event) is a no-op.
 class EventHandle {
  public:
   EventHandle() = default;
-  explicit EventHandle(std::shared_ptr<internal::EventRecord> rec)
-      : rec_(std::move(rec)) {}
+  EventHandle(internal::EventRecord* rec, std::uint64_t gen)
+      : rec_(rec), gen_(gen) {}
 
   void cancel() {
-    if (rec_) rec_->cancelled = true;
+    if (rec_ && rec_->gen == gen_) rec_->cancelled = true;
   }
-  bool pending() const { return rec_ && !rec_->cancelled && rec_->fn; }
+  bool pending() const {
+    return rec_ && rec_->gen == gen_ && !rec_->cancelled &&
+           static_cast<bool>(rec_->fn);
+  }
 
  private:
-  std::shared_ptr<internal::EventRecord> rec_;
+  internal::EventRecord* rec_ = nullptr;
+  std::uint64_t gen_ = 0;
 };
 
 }  // namespace edb::sim

@@ -11,7 +11,16 @@ void Metrics::record_generated(const Packet& p, int origin_depth) {
 }
 
 void Metrics::record_delivered(const Packet& p, double now) {
+  if (!delivered_uids_.insert(p.uid).second) return;  // duplicate arrival
   records_.push_back({p, now});
+}
+
+void Metrics::reset() {
+  generated_ = 0;
+  max_depth_ = 0;
+  records_.clear();
+  origin_depth_.clear();
+  delivered_uids_.clear();
 }
 
 double Metrics::delivery_ratio() const {

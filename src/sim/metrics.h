@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/frame.h"
@@ -19,7 +20,16 @@ struct DeliveryRecord {
 class Metrics {
  public:
   void record_generated(const Packet& p, int origin_depth);
+  // Records the packet's first arrival at the sink; duplicates of an
+  // already-delivered uid (link-layer retries whose ACK was lost upstream
+  // re-inject the same packet) are ignored, so delivery_ratio() is the
+  // fraction of *distinct* generated packets that arrived.
   void record_delivered(const Packet& p, double now);
+
+  // Forgets every record but keeps the container capacity, so an
+  // arena-held Metrics is reused across campaign replications without
+  // re-growing its buffers.
+  void reset();
 
   std::size_t generated() const { return generated_; }
   std::size_t delivered() const { return records_.size(); }
@@ -42,6 +52,7 @@ class Metrics {
   int max_depth_ = 0;
   std::vector<DeliveryRecord> records_;
   std::unordered_map<std::uint64_t, int> origin_depth_;
+  std::unordered_set<std::uint64_t> delivered_uids_;
 };
 
 }  // namespace edb::sim

@@ -1,0 +1,90 @@
+#include "sim/protocol_factory.h"
+
+#include <memory>
+
+#include "mac/registry.h"
+#include "sim/bmac_sim.h"
+#include "sim/dmac_sim.h"
+#include "sim/lmac_sim.h"
+#include "sim/scpmac_sim.h"
+#include "sim/xmac_sim.h"
+
+namespace edb::sim {
+
+std::vector<std::string> sim_protocols() {
+  return {"X-MAC", "DMAC", "LMAC", "B-MAC", "SCP-MAC"};
+}
+
+bool sim_supported(std::string_view protocol) {
+  auto resolved = mac::resolve_protocol(protocol);
+  if (!resolved.ok()) return false;
+  for (const std::string& name : sim_protocols()) {
+    if (name == *resolved) return true;
+  }
+  return false;
+}
+
+bool needs_slot_assignment(std::string_view protocol) {
+  auto resolved = mac::resolve_protocol(protocol);
+  return resolved.ok() && *resolved == "LMAC";
+}
+
+Expected<MacFactory> make_sim_factory(std::string_view protocol,
+                                      const SimProtocolParams& params) {
+  auto resolved = mac::resolve_protocol(protocol);
+  if (!resolved.ok()) return resolved.error();
+  const std::string& name = *resolved;
+  if (!sim_supported(name)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      name + " has no behavioural implementation");
+  }
+  if (params.x.size() != 1) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "behavioural MACs take a 1-D operating point, got " +
+                          std::to_string(params.x.size()));
+  }
+  const double x0 = params.x[0];
+  if (!(x0 > 0)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "operating point must be positive");
+  }
+
+  if (name == "X-MAC") {
+    return MacFactory([x0](MacEnv env) -> std::unique_ptr<MacProtocol> {
+      return std::make_unique<XmacSim>(std::move(env),
+                                       XmacSimParams{.tw = x0});
+    });
+  }
+  if (name == "DMAC") {
+    const int depth = params.max_depth;
+    return MacFactory([x0, depth](MacEnv env) -> std::unique_ptr<MacProtocol> {
+      return std::make_unique<DmacSim>(
+          std::move(env),
+          DmacSimParams{.t_cycle = x0, .max_depth = depth});
+    });
+  }
+  if (name == "LMAC") {
+    if (params.lmac_slots < 2) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "LMAC needs at least two slots");
+    }
+    const int slots = params.lmac_slots;
+    return MacFactory([x0, slots](MacEnv env) -> std::unique_ptr<MacProtocol> {
+      return std::make_unique<LmacSim>(
+          std::move(env), LmacSimParams{.t_slot = x0, .n_slots = slots});
+    });
+  }
+  if (name == "B-MAC") {
+    return MacFactory([x0](MacEnv env) -> std::unique_ptr<MacProtocol> {
+      return std::make_unique<BmacSim>(std::move(env),
+                                       BmacSimParams{.tw = x0});
+    });
+  }
+  // sim_supported() admitted it, so this is SCP-MAC.
+  return MacFactory([x0](MacEnv env) -> std::unique_ptr<MacProtocol> {
+    return std::make_unique<ScpmacSim>(std::move(env),
+                                       ScpmacSimParams{.tp = x0});
+  });
+}
+
+}  // namespace edb::sim

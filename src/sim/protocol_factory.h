@@ -1,0 +1,52 @@
+// Registry-unified behavioural protocol construction.
+//
+// Historically every driver hand-picked a `*_sim` class and hand-mapped
+// the analytic parameter vector onto its params struct.  This factory
+// puts the six per-protocol builders behind the same name resolution the
+// analytic side uses (mac/registry.h), so a campaign is driven by
+// (protocol id, operating point x) exactly like a tuning query:
+//
+//   auto factory = make_sim_factory("xmac", {.x = {0.25}});
+//   sim.finalize(factory.take());
+//
+// The x vector is the analytic model's parameter vector for the same
+// protocol: X-MAC/B-MAC wake interval, DMAC cycle length, LMAC slot
+// duration, SCP-MAC poll period.  Protocols whose behavioural
+// implementation does not exist yet (S-MAC, WiseMAC) resolve but report
+// kInvalidArgument — sim_supported() is the capability probe the catalog
+// validation layer keys on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/mac_protocol.h"
+#include "util/error.h"
+
+namespace edb::sim {
+
+// Deployment-shaped knobs the parameter vector cannot carry.
+struct SimProtocolParams {
+  std::vector<double> x;  // analytic operating point (all sims are 1-D)
+  int max_depth = 1;      // DMAC: deepest ring (slot staggering)
+  int lmac_slots = 16;    // LMAC: slots per frame (match the model config)
+};
+
+// Registry protocols with a behavioural implementation, paper order.
+std::vector<std::string> sim_protocols();
+
+// True when `protocol` resolves and has a behavioural implementation.
+bool sim_supported(std::string_view protocol);
+
+// True when the resolved protocol needs Simulation::assign_lmac_slots
+// before finalize().
+bool needs_slot_assignment(std::string_view protocol);
+
+// Builds the MacFactory for the resolved protocol at operating point
+// params.x.  kNotFound for unknown names; kInvalidArgument for
+// analytic-only protocols or a wrong-dimension x.
+Expected<MacFactory> make_sim_factory(std::string_view protocol,
+                                      const SimProtocolParams& params);
+
+}  // namespace edb::sim

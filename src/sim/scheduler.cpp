@@ -1,13 +1,35 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
+
 namespace edb::sim {
+
+internal::EventRecord* Scheduler::acquire() {
+  if (!free_.empty()) {
+    internal::EventRecord* rec = free_.back();
+    free_.pop_back();
+    return rec;
+  }
+  pool_.push_back(std::make_unique<internal::EventRecord>());
+  return pool_.back().get();
+}
+
+void Scheduler::recycle(internal::EventRecord* rec) {
+  // Bumping the generation inertifies every outstanding handle to this
+  // record's previous life before the record is reused.
+  rec->fn = nullptr;
+  rec->cancelled = false;
+  ++rec->gen;
+  free_.push_back(rec);
+}
 
 EventHandle Scheduler::schedule_at(double t, EventFn fn) {
   EDB_ASSERT(t >= now_, "cannot schedule into the past");
-  auto rec = std::make_shared<internal::EventRecord>();
+  internal::EventRecord* rec = acquire();
   rec->fn = std::move(fn);
-  queue_.push({t, next_seq_++, rec});
-  return EventHandle(rec);
+  heap_.push_back({t, next_seq_++, rec});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return EventHandle(rec, rec->gen);
 }
 
 EventHandle Scheduler::schedule_in(double delay, EventFn fn) {
@@ -16,15 +38,22 @@ EventHandle Scheduler::schedule_in(double delay, EventFn fn) {
 }
 
 void Scheduler::run_until(double t_end) {
-  while (!queue_.empty()) {
-    const QueueEntry top = queue_.top();
+  while (!heap_.empty()) {
+    const QueueEntry top = heap_.front();
     if (top.t > t_end) break;
-    queue_.pop();
-    if (top.rec->cancelled) continue;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    if (top.rec->cancelled) {
+      recycle(top.rec);
+      continue;
+    }
     now_ = top.t;
     EventFn fn = std::move(top.rec->fn);
     top.rec->fn = nullptr;
     fn();
+    // Recycled only after fn() returns: a callback may cancel (or test)
+    // its own just-fired handle, which must still observe this life.
+    recycle(top.rec);
     ++executed_;
   }
   now_ = t_end;
@@ -33,7 +62,15 @@ void Scheduler::run_until(double t_end) {
 bool Scheduler::empty() const {
   // Conservative: tombstoned events still occupy the queue, so report
   // emptiness only when the queue is truly drained.
-  return queue_.empty();
+  return heap_.empty();
+}
+
+void Scheduler::reset() {
+  for (const QueueEntry& entry : heap_) recycle(entry.rec);
+  heap_.clear();
+  now_ = 0;
+  next_seq_ = 0;
+  executed_ = 0;
 }
 
 }  // namespace edb::sim

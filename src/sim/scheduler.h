@@ -1,11 +1,20 @@
 // Discrete-event scheduler: a time-ordered queue of callbacks.
 //
 // Deterministic: simultaneous events fire in scheduling order (FIFO tie
-// break on a monotone sequence number).  Cancellation is O(1) via tombstone
-// flags; cancelled events are skipped at pop time.
+// break on a monotone sequence number); the (time, seq) key totally
+// orders live events, so the pop sequence is independent of the heap's
+// internal layout.  Cancellation is O(1) via tombstone flags; cancelled
+// events are skipped at pop time.
+//
+// The scheduler is re-entrant and arena-friendly: event records are
+// recycled through an internal pool (see event.h) so steady-state
+// operation performs no per-event record allocations, and reset()
+// rewinds the clock while keeping the pool and heap capacity — a
+// SimArena hands the same scheduler to one replication after another
+// without rebuilding its storage (sim/simulation.h).
 #pragma once
 
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "sim/event.h"
@@ -16,6 +25,9 @@ namespace edb::sim {
 class Scheduler {
  public:
   Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
 
   double now() const { return now_; }
 
@@ -33,20 +45,29 @@ class Scheduler {
 
   std::size_t events_executed() const { return executed_; }
 
+  // Rewinds to t = 0 with an empty queue, invalidating all outstanding
+  // handles but keeping the record pool and heap capacity warm for the
+  // next replication.
+  void reset();
+
  private:
   struct QueueEntry {
     double t;
     std::uint64_t seq;
-    std::shared_ptr<internal::EventRecord> rec;
-    bool operator>(const QueueEntry& o) const {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
-    }
+    internal::EventRecord* rec;
   };
+  // Min-heap on (t, seq) via std::push_heap/pop_heap over heap_.
+  static bool later(const QueueEntry& a, const QueueEntry& b) {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>>
-      queue_;
+  internal::EventRecord* acquire();
+  void recycle(internal::EventRecord* rec);
+
+  std::vector<QueueEntry> heap_;
+  std::vector<std::unique_ptr<internal::EventRecord>> pool_;
+  std::vector<internal::EventRecord*> free_;
   double now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;

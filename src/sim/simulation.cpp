@@ -6,11 +6,30 @@
 
 namespace edb::sim {
 
-Simulation::Simulation(SimulationConfig cfg)
-    : cfg_(cfg), channel_(scheduler_, cfg.comm_range) {
+Simulation::Simulation(SimulationConfig cfg, SimArena* arena)
+    : cfg_(cfg),
+      arena_(arena),
+      own_scheduler_(arena ? nullptr : std::make_unique<Scheduler>()),
+      own_metrics_(arena ? nullptr : std::make_unique<Metrics>()),
+      scheduler_(arena ? &arena->scheduler_ : own_scheduler_.get()),
+      metrics_(arena ? &arena->metrics_ : own_metrics_.get()),
+      channel_(*scheduler_, cfg.comm_range) {
   EDB_ASSERT(cfg_.duration > 0, "simulation duration must be positive");
   EDB_ASSERT(cfg_.traffic_stop_frac > 0 && cfg_.traffic_stop_frac <= 1.0,
              "traffic stop fraction must be in (0, 1]");
+  if (arena_) {
+    EDB_ASSERT(!arena_->in_use_, "SimArena already borrowed by a live "
+                                 "Simulation");
+    arena_->in_use_ = true;
+    arena_->scheduler_.reset();
+    arena_->metrics_.reset();
+  }
+}
+
+Simulation::~Simulation() {
+  // MACs (which hold event handles) die with nodes_ before the arena's
+  // scheduler is handed to the next borrower.
+  if (arena_) arena_->in_use_ = false;
 }
 
 int Simulation::add_node(int depth, int parent_id, double x, double y) {
@@ -26,7 +45,7 @@ int Simulation::add_node(int depth, int parent_id, double x, double y) {
                "parent must be added before its children");
   }
   max_depth_ = std::max(max_depth_, depth);
-  nodes_.push_back(std::make_unique<Node>(info, x, y, cfg_.radio, &metrics_));
+  nodes_.push_back(std::make_unique<Node>(info, x, y, cfg_.radio, metrics_));
   channel_.add_node(id, x, y, &nodes_.back()->radio());
   return id;
 }
@@ -74,7 +93,7 @@ void Simulation::finalize(const MacFactory& factory) {
   for (auto& n : nodes_) {
     const std::uint64_t seed =
         cfg_.seed * 0x9e3779b97f4a7c15ULL + n->info().id;
-    n->wire_mac(&scheduler_, &channel_, cfg_.packet, factory, seed);
+    n->wire_mac(scheduler_, &channel_, cfg_.packet, factory, seed);
     channel_.set_sink(n->info().id, &n->mac());
   }
   finalized_ = true;
@@ -93,10 +112,10 @@ void Simulation::run() {
   ran_ = true;
 
   for (auto& n : nodes_) n->mac().start();
-  traffic_ = std::make_unique<TrafficGenerator>(scheduler_, cfg_.traffic,
+  traffic_ = std::make_unique<TrafficGenerator>(*scheduler_, cfg_.traffic,
                                                 cfg_.seed ^ 0x7aff1cULL);
   traffic_->start(node_ptrs(), cfg_.duration * cfg_.traffic_stop_frac);
-  scheduler_.run_until(cfg_.duration);
+  scheduler_->run_until(cfg_.duration);
   for (auto& n : nodes_) n->radio().finalize(cfg_.duration);
 }
 

@@ -9,6 +9,14 @@
 //   sim.run();
 //   sim.metrics().mean_delay_from_depth(3);
 //   sim.mean_power_at_depth(1);
+//
+// Simulations are re-entrant: independent instances share no state, so a
+// campaign can run one per thread.  For back-to-back replications on one
+// thread, pass a SimArena — the kernel scratch that dominates allocation
+// churn (the scheduler's event-record pool and heap, the metrics buffers)
+// is then recycled across replications instead of rebuilt.  Arena reuse
+// is invisible in the results: it changes where records live, never when
+// events fire.
 #pragma once
 
 #include <memory>
@@ -36,9 +44,32 @@ struct SimulationConfig {
   std::uint64_t seed = 1;
 };
 
+// Per-worker scratch a campaign reuses across replications: one
+// Simulation borrows it at a time (enforced), and each borrow starts from
+// a reset kernel with warm capacity.
+class SimArena {
+ public:
+  SimArena() = default;
+  SimArena(const SimArena&) = delete;
+  SimArena& operator=(const SimArena&) = delete;
+
+ private:
+  friend class Simulation;
+  Scheduler scheduler_;
+  Metrics metrics_;
+  bool in_use_ = false;
+};
+
 class Simulation {
  public:
-  explicit Simulation(SimulationConfig cfg);
+  // With an arena the simulation borrows the arena's kernel scratch for
+  // its lifetime (the arena must outlive it); without one it owns fresh
+  // scratch, which is the historical behaviour.
+  explicit Simulation(SimulationConfig cfg, SimArena* arena = nullptr);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
 
   // Adds a node; depth 0 marks the sink (parent ignored).  Returns its id.
   int add_node(int depth, int parent_id, double x, double y);
@@ -54,10 +85,11 @@ class Simulation {
   void run();
 
   const SimulationConfig& config() const { return cfg_; }
-  Scheduler& scheduler() { return scheduler_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
   Channel& channel() { return channel_; }
-  Metrics& metrics() { return metrics_; }
-  const Metrics& metrics() const { return metrics_; }
+  Metrics& metrics() { return *metrics_; }
+  const Metrics& metrics() const { return *metrics_; }
 
   std::size_t num_nodes() const { return nodes_.size(); }
   Node& node(int id) { return *nodes_.at(id); }
@@ -74,9 +106,12 @@ class Simulation {
 
  private:
   SimulationConfig cfg_;
-  Scheduler scheduler_;
+  SimArena* arena_ = nullptr;
+  std::unique_ptr<Scheduler> own_scheduler_;
+  std::unique_ptr<Metrics> own_metrics_;
+  Scheduler* scheduler_ = nullptr;
+  Metrics* metrics_ = nullptr;
   Channel channel_;
-  Metrics metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<TrafficGenerator> traffic_;
   int max_depth_ = 0;

@@ -12,6 +12,19 @@
 
 namespace edb {
 
+// One round of the splitmix64 output function (Steele, Lea & Flood): the
+// canonical cheap way to derive uncorrelated stream keys from structured
+// inputs (base ^ index, hashed names, ...).  Every layer that needs a
+// derived seed — catalog scenario streams, engine job streams, campaign
+// replication streams — goes through this one definition so the
+// derivations cannot drift apart.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 class Rng {
  public:
   // Seeds via splitmix64 so that small consecutive seeds give uncorrelated

@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace edb {
+namespace {
+
+// Two-sided 97.5% Student-t quantiles for df = 1..30; beyond that the
+// normal 1.96 is within half a percent.
+constexpr double kT975[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+double t975(std::size_t df) {
+  if (df == 0) return kNaN;
+  if (df <= 30) return kT975[df - 1];
+  return 1.96;
+}
+
+}  // namespace
+
+void Welford::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Welford::mean() const { return n_ == 0 ? kNaN : mean_; }
+
+double Welford::variance() const {
+  return n_ < 2 ? kNaN : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const {
+  return n_ < 2 ? kNaN : std::sqrt(variance());
+}
+
+double Welford::sem() const {
+  return n_ < 2 ? kNaN : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double Welford::ci95_halfwidth() const {
+  return n_ < 2 ? kNaN : t975(n_ - 1) * sem();
+}
+
+double Welford::min() const { return n_ == 0 ? kNaN : min_; }
+
+double Welford::max() const { return n_ == 0 ? kNaN : max_; }
+
+}  // namespace edb

@@ -1,0 +1,107 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace edb {
+namespace {
+
+TEST(Welford, EmptyIsNaN) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_TRUE(std::isnan(w.mean()));
+  EXPECT_TRUE(std::isnan(w.variance()));
+  EXPECT_TRUE(std::isnan(w.sem()));
+  EXPECT_TRUE(std::isnan(w.ci95_halfwidth()));
+  EXPECT_TRUE(std::isnan(w.min()));
+  EXPECT_TRUE(std::isnan(w.max()));
+}
+
+TEST(Welford, SingleSampleHasMeanButNoSpread) {
+  Welford w;
+  w.add(3.5);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_EQ(w.mean(), 3.5);
+  EXPECT_EQ(w.min(), 3.5);
+  EXPECT_EQ(w.max(), 3.5);
+  EXPECT_TRUE(std::isnan(w.variance()));
+  EXPECT_TRUE(std::isnan(w.ci95_halfwidth()));
+}
+
+TEST(Welford, MatchesDirectMoments) {
+  const std::vector<double> xs = {1.0, 2.5, -0.5, 4.0, 3.25, 0.75};
+  Welford w;
+  for (double x : xs) w.add(x);
+  ASSERT_EQ(w.count(), xs.size());
+  EXPECT_NEAR(w.mean(), mean(xs), 1e-12);
+  // util/math variance is the population variance; Welford reports the
+  // unbiased sample variance.
+  const double n = static_cast<double>(xs.size());
+  EXPECT_NEAR(w.variance(), variance(xs) * n / (n - 1), 1e-12);
+  EXPECT_EQ(w.min(), -0.5);
+  EXPECT_EQ(w.max(), 4.0);
+}
+
+TEST(Welford, CiUsesStudentTForSmallSamples) {
+  Welford w;
+  for (double x : {1.0, 2.0, 3.0}) w.add(x);
+  // n = 3: sem = 1/sqrt(3), t(0.975, 2) = 4.303.
+  EXPECT_NEAR(w.sem(), 1.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(w.ci95_halfwidth(), 4.303 / std::sqrt(3.0), 1e-9);
+
+  // Large n converges to the normal quantile.
+  Welford big;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) big.add(rng.uniform());
+  EXPECT_NEAR(big.ci95_halfwidth(), 1.96 * big.sem(), 1e-12);
+}
+
+TEST(Welford, MergeMatchesSequentialFold) {
+  Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(2.0, 3.0));
+
+  Welford whole;
+  for (double x : xs) whole.add(x);
+
+  Welford a, b, c;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 30 ? a : i < 60 ? b : c).add(xs[i]);
+  }
+  Welford merged;
+  merged.merge(a);
+  merged.merge(b);
+  merged.merge(c);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford empty, filled;
+  filled.add(1.0);
+  filled.add(2.0);
+
+  Welford a = filled;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), filled.mean());
+
+  Welford b = empty;
+  b.merge(filled);  // adopts
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), filled.mean());
+  EXPECT_EQ(b.min(), 1.0);
+  EXPECT_EQ(b.max(), 2.0);
+}
+
+}  // namespace
+}  // namespace edb
