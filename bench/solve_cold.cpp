@@ -1,5 +1,5 @@
 // Cold-solve microbench: the block-oracle acceptance run for the solver
-// stack (opt grid stages -> batched fence -> mac SoA kernels).
+// stack (opt descent + grid stages -> batched fence -> mac SIMD kernels).
 //
 // Runs repeated cold bargaining solves (fresh EnergyDelayGame, no warm
 // start, no memoization — the service's uncached path) for the three
@@ -7,19 +7,30 @@
 // dependency).  Per model and overall it reports
 //
 //   solves/s        cold end-to-end solve throughput
+//   ms/solve        cold end-to-end solve latency
 //   evals/solve     oracle evaluations per solve (BargainingOutcome::stats;
 //                   deterministic, so it doubles as a regression guard)
 //   ns/eval         solve wall time per evaluation
 //   oracle_share    fraction of solve time spent inside the block oracle
 //
-// and writes BENCH_solver.json next to the binary.
+// plus a descent-vs-grid parity check: one SolverMode::kGridVerify solve
+// per model must select the same operating points (E/L within 1e-6
+// relative) as the production kDescent pipeline — the agreement-point
+// gate behind the solver rewire.  Writes BENCH_solver.json next to the
+// binary.
 //
 //   $ ./solve_cold [repeats] [baseline.json]
 //
 // With a baseline file (bench/baselines/BENCH_solver.baseline.json in CI),
-// exits non-zero when any model's evals/solve regresses more than 10%
-// above the checked-in value — evaluation counts are deterministic, so
-// the threshold only trips on real plan changes, never on machine noise.
+// exits non-zero when
+//
+//   - any model's evals/solve regresses more than 10% above the baseline
+//     (deterministic: only real plan changes trip it),
+//   - any model's ns/eval exceeds 3x or solves/s falls below 1/3 of the
+//     baseline (loose factors: wall-clock gates must survive noisy
+//     shared runners),
+//   - any model's cold solve exceeds 1 ms (the ROADMAP acceptance bar),
+//   - or the parity check fails (always fatal, baseline or not).
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +46,8 @@
 #include "core/game_framework.h"
 #include "core/scenario.h"
 #include "mac/registry.h"
+#include "util/math.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -69,6 +82,12 @@ bool json_number(const std::string& text, const std::string& key,
   return true;
 }
 
+bool points_match(const edb::core::OperatingPoint& a,
+                  const edb::core::OperatingPoint& b) {
+  return edb::rel_diff(a.energy, b.energy) < 1e-6 &&
+         edb::rel_diff(a.latency, b.latency) < 1e-6;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,7 +99,8 @@ int main(int argc, char** argv) {
   const core::Scenario scenario = core::Scenario::paper_default();
   const std::vector<std::string> protocols = {"X-MAC", "DMAC", "LMAC"};
 
-  std::printf("== solve_cold: %d cold solves per paper model ==\n", repeats);
+  std::printf("== solve_cold: %d cold solves per paper model (simd: %s) ==\n",
+              repeats, util::simd_backend());
 
   bench::BenchJson json;
   json.integer("repeats", repeats);
@@ -126,6 +146,7 @@ int main(int argc, char** argv) {
     const double elapsed = now_ms() - t0;
 
     const double solves_per_sec = 1e3 * repeats / elapsed;
+    const double ms_per_solve = elapsed / repeats;
     const double evals_per_solve = static_cast<double>(stats.evaluations);
     const double ns_per_eval =
         1e6 * elapsed / (static_cast<double>(stats.evaluations) * repeats);
@@ -133,34 +154,89 @@ int main(int argc, char** argv) {
         stats.oracle_ns * repeats / (1e6 * elapsed);
 
     std::printf(
-        "%-6s %8.1f solves/s  %7.0f evals/solve  %6.1f ns/eval  "
-        "(%5.1f%% in block oracle, %lld blocks)\n",
-        name.c_str(), solves_per_sec, evals_per_solve, ns_per_eval,
-        1e2 * oracle_share, stats.blocks);
+        "%-6s %8.1f solves/s  %6.3f ms/solve  %7.0f evals/solve  "
+        "%6.1f ns/eval  (%5.1f%% in block oracle, %lld blocks)\n",
+        name.c_str(), solves_per_sec, ms_per_solve, evals_per_solve,
+        ns_per_eval, 1e2 * oracle_share, stats.blocks);
+
+    // Agreement-point parity: the retained dense-grid pipeline is the
+    // verifier for the descent rewire — same selected operating points,
+    // objectives within tolerance, at a multiple of the cost.
+    core::EnergyDelayGame verify_game(*model, scenario.requirements);
+    verify_game.set_solver_mode(core::SolverMode::kGridVerify);
+    auto verify = verify_game.solve();
+    if (!verify.ok()) {
+      std::fprintf(stderr, "%s: grid-verify solve failed\n", name.c_str());
+      return 2;
+    }
+    const bool parity = points_match(first->p1, verify->p1) &&
+                        points_match(first->p2, verify->p2) &&
+                        points_match(first->nbs, verify->nbs);
+    const double speedup =
+        static_cast<double>(verify->stats.evaluations) / evals_per_solve;
+    std::printf("       parity vs grid-verify: %s  (%lld evals -> %.0f, "
+                "%.1fx fewer)\n",
+                parity ? "ok" : "MISMATCH", verify->stats.evaluations,
+                evals_per_solve, speedup);
+    if (!parity) {
+      std::fprintf(stderr,
+                   "PARITY %s: descent and grid-verify pipelines disagree "
+                   "at the agreement points\n",
+                   name.c_str());
+      regressed = true;
+    }
 
     const std::string tag = field_tag(name);
     json.number((tag + "_solves_per_sec").c_str(), solves_per_sec);
+    json.number((tag + "_ms_per_solve").c_str(), ms_per_solve);
     json.number((tag + "_evals_per_solve").c_str(), evals_per_solve);
     json.number((tag + "_ns_per_eval").c_str(), ns_per_eval);
     json.integer((tag + "_blocks_per_solve").c_str(), stats.blocks);
+    json.integer((tag + "_gridverify_evals_per_solve").c_str(),
+                 verify->stats.evaluations);
 
     total_ms += elapsed;
     total_evals += stats.evaluations * repeats;
     total_solves += repeats;
 
     if (!baseline.empty()) {
-      double base_evals = 0;
-      if (json_number(baseline, tag + "_evals_per_solve", &base_evals)) {
-        if (evals_per_solve > 1.1 * base_evals) {
+      double base = 0;
+      if (json_number(baseline, tag + "_evals_per_solve", &base)) {
+        if (evals_per_solve > 1.1 * base) {
           std::fprintf(stderr,
                        "REGRESSION %s: %.0f evals/solve vs baseline %.0f "
                        "(>10%%)\n",
-                       name.c_str(), evals_per_solve, base_evals);
+                       name.c_str(), evals_per_solve, base);
           regressed = true;
         }
       } else {
         std::fprintf(stderr, "warning: baseline lacks %s_evals_per_solve\n",
                      tag.c_str());
+      }
+      // Wall-clock gates: deliberately loose (3x) so they catch order-of-
+      // magnitude regressions, not shared-runner noise.
+      if (json_number(baseline, tag + "_ns_per_eval", &base)) {
+        if (ns_per_eval > 3.0 * base) {
+          std::fprintf(stderr,
+                       "REGRESSION %s: %.1f ns/eval vs baseline %.1f (>3x)\n",
+                       name.c_str(), ns_per_eval, base);
+          regressed = true;
+        }
+      }
+      if (json_number(baseline, tag + "_solves_per_sec", &base)) {
+        if (solves_per_sec < base / 3.0) {
+          std::fprintf(stderr,
+                       "REGRESSION %s: %.1f solves/s vs baseline %.1f "
+                       "(<1/3)\n",
+                       name.c_str(), solves_per_sec, base);
+          regressed = true;
+        }
+      }
+      // Absolute acceptance bar (ROADMAP item 3): cold solve under 1 ms.
+      if (ms_per_solve > 1.0) {
+        std::fprintf(stderr, "REGRESSION %s: %.3f ms/solve (> 1 ms bar)\n",
+                     name.c_str(), ms_per_solve);
+        regressed = true;
       }
     }
   }

@@ -6,10 +6,13 @@
 
 #include "opt/batch.h"
 #include "opt/bounds.h"
+#include "opt/descent.h"
 #include "opt/grid.h"
+#include "opt/nelder_mead.h"
 #include "opt/penalty.h"
 #include "util/log.h"
 #include "util/math.h"
+#include "util/simd.h"
 
 namespace edb::core {
 namespace {
@@ -32,11 +35,14 @@ opt::Objective fenced(opt::Objective raw,
   };
 }
 
-// One requirement slack of the batched fence: the scalar slack's combine
-// arithmetic applied to a blockwise-computed metric (E or L).
+// One requirement slack of the batched fence: every requirement in this
+// framework is a cap on one metric, normalised by the cap —
+// slack(v) = (cap - v) / cap, feasible when > 0.  Keeping the combine as
+// plain data (not a std::function) lets BatchFence run the slack pass on
+// SIMD lanes with the scalar arithmetic bit-preserved.
 struct MetricSlack {
   bool uses_energy = false;  // the metric the combine reads: E, else L
-  std::function<double(double)> fn;
+  double cap = 0;            // requirement cap on that metric (> 0)
 };
 
 // Batched counterpart of fenced() for the grid oracles (opt/batch.h).
@@ -100,18 +106,43 @@ class BatchFence {
                              slack_l_ ? l_.data() : nullptr, nullptr);
     }
     survivors_.clear();
-    for (std::size_t j = 0; j < m; ++j) {
-      bool ok = true;
-      for (const auto& s : slacks_) {
-        if (s.fn(s.uses_energy ? e_[j] : l_[j]) <= 0.0) {
-          ok = false;
-          break;  // scalar short-circuit: first failed slack wins
+    if (slacks_.empty()) {
+      for (std::size_t j = 0; j < m; ++j) survivors_.push_back(j);
+    } else {
+      // Slack pass on SIMD lanes: a point survives iff every slack is
+      // > 0, i.e. iff the worst (minimum) slack is.  min-combining in
+      // declaration order keeps every intermediate bit-identical to the
+      // scalar tail, and a failed point's output (+inf) is the same
+      // whichever slack failed first, so dropping the scalar
+      // short-circuit is observationally exact.
+      using util::DoubleLanes;
+      constexpr std::size_t W = DoubleLanes::kWidth;
+      worst_.resize(m);
+      std::size_t j = 0;
+      for (; j + W <= m; j += W) {
+        DoubleLanes worst = DoubleLanes::broadcast(kInf);
+        for (const auto& s : slacks_) {
+          const double* src = s.uses_energy ? e_.data() : l_.data();
+          const DoubleLanes cap = DoubleLanes::broadcast(s.cap);
+          worst = util::min(worst,
+                            (cap - DoubleLanes::load(src + j)) / cap);
         }
+        worst.store(worst_.data() + j);
       }
-      if (ok) {
-        survivors_.push_back(j);
-      } else {
-        values[alive_[j]] = kInf;
+      for (; j < m; ++j) {
+        double worst = kInf;
+        for (const auto& s : slacks_) {
+          const double v = s.uses_energy ? e_[j] : l_[j];
+          worst = std::min(worst, (s.cap - v) / s.cap);
+        }
+        worst_[j] = worst;
+      }
+      for (std::size_t t = 0; t < m; ++t) {
+        if (worst_[t] > 0.0) {
+          survivors_.push_back(t);
+        } else {
+          values[alive_[t]] = kInf;
+        }
       }
     }
     if (survivors_.empty()) return;
@@ -150,7 +181,7 @@ class BatchFence {
   bool slack_e_ = false, slack_l_ = false;
   std::function<double(double, double)> raw_;
   // Scratch (reused across blocks; one fence serves one solve thread).
-  std::vector<double> margins_, e_, l_, e2_, l2_, sub_, sub2_;
+  std::vector<double> margins_, e_, l_, e2_, l2_, sub_, sub2_, worst_;
   std::vector<std::size_t> alive_, survivors_;
 };
 
@@ -226,7 +257,8 @@ std::vector<opt::Constraint> make_scalar_slacks(
       [&metrics](const std::vector<double>& x) { return metrics.margin(x); });
   for (const auto& s : slacks) {
     out.push_back([&metrics, s](const std::vector<double>& x) {
-      return s.fn(s.uses_energy ? metrics.energy(x) : metrics.latency(x));
+      const double v = s.uses_energy ? metrics.energy(x) : metrics.latency(x);
+      return (s.cap - v) / s.cap;
     });
   }
   return out;
@@ -234,50 +266,72 @@ std::vector<opt::Constraint> make_scalar_slacks(
 
 // Best feasible point across the two solver families of DESIGN.md §2.
 //
-// Cold (no trusted seed): the exterior-penalty multistart pipeline plus
-// the zooming grid oracle — a global search, nothing assumed.
+// kDescent (production): a coarse full-box grid scan locates the basin,
+// a BDCA-style boosted descent (opt/descent.h) runs on the batched fence
+// — cold: deterministic multistart seeded from the coarse incumbent (and
+// any untrusted hint); warm: a single descent from the trusted seed —
+// and a tight anchored grid polish finishes.  When the coarse scan finds
+// no feasible lattice point the fence is +inf almost everywhere and no
+// descent can start, so the cold stage 2 falls back to the
+// exterior-penalty multistart, whose smooth slacks can still crawl into
+// a narrow feasible sliver.
 //
-// Trusted seed (a neighbouring cell's optimum, handed over by the scenario
-// engine): the penalty multistart is replaced by a single fenced local
-// descent from the seed; the shared coarse scan below still sweeps the
-// full box, so a basin change between neighbouring cells is caught.
+// kGridVerify: the original dense-grid + penalty pipeline, verbatim.  It
+// is the independent verifier for the descent path: both modes share the
+// stage-1 lattice family and the stage-3 anchored polish, so at the
+// agreement points they must select the same operating point with
+// objectives equal within tolerance (tests/opt_descent_test.cpp,
+// bench/solve_cold.cpp).
 //
-// Path independence: both paths share stage 1 verbatim and end in the
-// same stage-3 polish anchored at stage 1's incumbent, and stage 2 can
-// only override the polished point by a macroscopic margin.  When the
-// warm stage 2 *does* claim such a margin — or stage 1 found nothing
-// feasible — the warm path falls back to the full cold stage 2 before
-// deciding, so the decision inputs are the cold ones.  The only way the
-// two paths can then disagree is the penalty multistart finding a basin
-// that both the full-box scan and the seeded descent missed, which the
-// §2 cross-check philosophy already treats as solver disagreement; the
-// engine's determinism tests and bench/engine_micro guard it.
+// Path independence (both modes): cold and warm paths share stage 1
+// verbatim and end in the same stage-3 polish anchored at stage 1's
+// incumbent, and stage 2 can only override the polished point by a
+// macroscopic margin.  When the warm stage 2 *does* claim such a margin
+// — or stage 1 found nothing feasible — the warm path falls back to the
+// full cold stage 2 before deciding, so the decision inputs are the cold
+// ones.  The only way the two paths can then disagree is the cold
+// multistart finding a basin that both the full-box scan and the seeded
+// descent missed, which the §2 cross-check philosophy already treats as
+// solver disagreement; the engine's determinism tests and
+// bench/engine_micro guard it.
 Expected<opt::VectorResult> dual_solve(
     const opt::Objective& raw, const std::vector<opt::Constraint>& slacks,
     const opt::BatchObjective& batch_fence, const opt::Box& box,
-    const std::vector<double>& seed = {}, bool trusted = false) {
+    SolverMode mode, const std::vector<double>& seed = {},
+    bool trusted = false) {
   const bool warm = trusted && seed.size() == box.dim();
-  // The scalar fence survives for the sequential stage-2 descent; the grid
-  // stages run on its batched counterpart (bit-identical values, one
-  // oracle call per lattice block).
+  const bool use_descent = mode == SolverMode::kDescent;
+  // The scalar fence survives for the sequential kGridVerify stage-2
+  // descent; every other stage runs on the batched counterpart
+  // (bit-identical values, one oracle call per block).
   opt::Objective fence = fenced(raw, slacks);
 
   // Stage 1 — coarse global scan, IDENTICAL in the cold and warm paths:
-  // the full-box zooming grid locates the optimum's basin to ~5e-5 of the
-  // box width.  Running the exact same scan in both paths matters beyond
-  // cost: its incumbent anchors the polish window below.
-  auto grid = opt::grid_refine_min(batch_fence, box,
-                                   {.points_per_dim = 65, .rounds = 4,
-                                    .zoom = 0.15});
+  // the full-box zooming grid locates the optimum's basin.  Running the
+  // exact same scan in both paths matters beyond cost: its incumbent
+  // anchors the polish window below.  kDescent stops a round earlier
+  // (~3.5e-4 of the box width — well inside the polish window); the
+  // descent stage recovers the rest for a fraction of a round's lattice.
+  const opt::GridOptions stage1_opts =
+      use_descent
+          ? opt::GridOptions{.points_per_dim = 65, .rounds = 3, .zoom = 0.15}
+          : opt::GridOptions{.points_per_dim = 65, .rounds = 4, .zoom = 0.15};
+  auto grid = opt::grid_refine_min(batch_fence, box, stage1_opts);
   const bool grid_ok = !grid.x.empty() && std::isfinite(grid.value);
 
-  // Stage 2 — an independent solver family as the cross-check (DESIGN.md
-  // §2).  Cold: the exterior-penalty multistart pipeline, a global search
-  // assuming nothing.  Warm: the neighbouring cell's optimum is already in
-  // the right basin, so a single local descent from it replaces the
-  // multistart (unless stage 1 came up empty — then fall back to the cold
-  // pipeline so the polish anchor below is the cold one).
-  auto cold_stage2 = [&]() {
+  // The descent stage's shared budget (cold multistart and warm descent):
+  // enough iterations to run the basin to far below the polish window,
+  // small enough that a full cold solve stays ~15x under the kGridVerify
+  // pipeline's evaluation count.
+  const auto descent_opts = [&]() {
+    opt::DescentOptions d;
+    d.max_iterations = 12;
+    return d;
+  };
+
+  // Exterior-penalty multistart — kGridVerify's cold stage 2, and the
+  // descent pipeline's fallback when stage 1 found nothing feasible.
+  auto penalty_stage2 = [&]() {
     opt::VectorResult r;
     r.value = kInf;
     opt::PenaltyOptions pen_opts;
@@ -303,6 +357,23 @@ Expected<opt::VectorResult> dual_solve(
     return r;
   };
 
+  // BDCA multistart — kDescent's cold stage 2.  Seeded from the coarse
+  // incumbent (and any untrusted hint); the seeding lattice keeps the
+  // global cross-check role the penalty multistart played.
+  auto descent_stage2 = [&]() {
+    opt::DescentOptions dopts = descent_opts();
+    if (grid_ok) dopts.extra_seeds.push_back(grid.x);
+    if (!trusted && seed.size() == box.dim()) {
+      dopts.extra_seeds.push_back(seed);
+    }
+    return opt::bdca_multistart_min(batch_fence, box, dopts);
+  };
+
+  // Cold stage 2 of the active mode (also the warm path's fallback).
+  auto cold_stage2 = [&]() {
+    return use_descent && grid_ok ? descent_stage2() : penalty_stage2();
+  };
+
   // Total oracle cost of the solve: every stage's evaluations (and block
   // counters) accumulate here, independent of which candidate wins — the
   // decision logic below compares values only.
@@ -313,7 +384,12 @@ Expected<opt::VectorResult> dual_solve(
   bool cand_is_warm_descent = false;
   if (warm && grid_ok) {
     // The fence keeps the descent strictly feasible.
-    cand = opt::nelder_mead_min(fence, box, box.clamp(seed), {});
+    if (use_descent) {
+      cand = opt::bdca_descend(batch_fence, box, box.clamp(seed),
+                               descent_opts());
+    } else {
+      cand = opt::nelder_mead_min(fence, box, box.clamp(seed), {});
+    }
     cand_is_warm_descent = true;
   } else {
     cand = cold_stage2();
@@ -332,7 +408,9 @@ Expected<opt::VectorResult> dual_solve(
   // optima at the sqrt(machine-eps) scale, so an argmin is only pinned
   // down to ~1e-8 in x by its value; anchoring the window and its lattice
   // to the shared stage-1 point makes both paths land on the *same* point
-  // inside that flat zone, not just equally good ones.
+  // inside that flat zone, not just equally good ones.  kDescent thins
+  // the lattice (17 points; final spacing ~5e-12 of the box width after
+  // 10 zoom rounds — still far below the flat zone).
   opt::VectorResult best = grid_ok ? grid : cand;
   const std::vector<double>& anchor = grid_ok ? grid.x : cand.x;
   {
@@ -342,9 +420,14 @@ Expected<opt::VectorResult> dual_solve(
       lo[i] = std::max(box.lo(i), anchor[i] - half);
       hi[i] = std::min(box.hi(i), anchor[i] + half);
     }
-    auto polished = opt::grid_refine_min(
-        batch_fence, opt::Box(lo, hi),
-        {.points_per_dim = 65, .rounds = 10, .zoom = 0.15});
+    const opt::GridOptions polish_opts =
+        use_descent
+            ? opt::GridOptions{.points_per_dim = 17, .rounds = 10,
+                               .zoom = 0.15}
+            : opt::GridOptions{.points_per_dim = 65, .rounds = 10,
+                               .zoom = 0.15};
+    auto polished =
+        opt::grid_refine_min(batch_fence, opt::Box(lo, hi), polish_opts);
     cost.absorb_cost(polished);
     if (std::isfinite(polished.value) && polished.value < best.value) {
       best = polished;
@@ -457,8 +540,7 @@ Expected<OperatingPoint> EnergyDelayGame::solve_p1(
   const opt::Box box = model_box(model_);
   // One spec drives both oracle flavours (see make_scalar_objective).
   const std::vector<MetricSlack> mslacks = {
-      {/*uses_energy=*/false,
-       [this](double l) { return (req_.l_max - l) / req_.l_max; }}};
+      {/*uses_energy=*/false, /*cap=*/req_.l_max}};
   const std::function<double(double, double)> raw = [](double e, double) {
     return e;
   };
@@ -469,7 +551,7 @@ Expected<OperatingPoint> EnergyDelayGame::solve_p1(
   std::vector<opt::Constraint> slacks = make_scalar_slacks(metrics, mslacks);
   BatchFence batch(model_, mslacks, /*raw_uses_e=*/true,
                    /*raw_uses_l=*/false, raw);
-  auto r = dual_solve(obj, slacks, batch.oracle(), box, seed, trusted);
+  auto r = dual_solve(obj, slacks, batch.oracle(), box, mode_, seed, trusted);
   if (!r.ok()) {
     return p1_infeasible_error(model_.name());
   }
@@ -486,8 +568,7 @@ Expected<OperatingPoint> EnergyDelayGame::solve_p2(
   const opt::Box box = model_box(model_);
   // One spec drives both oracle flavours (see make_scalar_objective).
   const std::vector<MetricSlack> mslacks = {
-      {/*uses_energy=*/true,
-       [this](double e) { return (req_.e_budget - e) / req_.e_budget; }}};
+      {/*uses_energy=*/true, /*cap=*/req_.e_budget}};
   const std::function<double(double, double)> raw = [](double, double l) {
     return l;
   };
@@ -498,7 +579,7 @@ Expected<OperatingPoint> EnergyDelayGame::solve_p2(
   std::vector<opt::Constraint> slacks = make_scalar_slacks(metrics, mslacks);
   BatchFence batch(model_, mslacks, /*raw_uses_e=*/false,
                    /*raw_uses_l=*/true, raw);
-  auto r = dual_solve(obj, slacks, batch.oracle(), box, seed, trusted);
+  auto r = dual_solve(obj, slacks, batch.oracle(), box, mode_, seed, trusted);
   if (!r.ok()) {
     return p2_infeasible_error(model_.name());
   }
@@ -557,10 +638,8 @@ Expected<BargainingOutcome> EnergyDelayGame::solve_weighted(
   const double e_cap = std::min(req_.e_budget, e_worst);
   const double l_cap = std::min(req_.l_max, l_worst);
   const std::vector<MetricSlack> mslacks = {
-      {/*uses_energy=*/true,
-       [e_cap](double e) { return (e_cap - e) / e_cap; }},
-      {/*uses_energy=*/false,
-       [l_cap](double l) { return (l_cap - l) / l_cap; }}};
+      {/*uses_energy=*/true, /*cap=*/e_cap},
+      {/*uses_energy=*/false, /*cap=*/l_cap}};
   const std::function<double(double, double)> raw =
       [e_worst, l_worst, e_range, l_range, alpha](double e, double l) {
         const double se = (e_worst - e) / e_range;
@@ -579,7 +658,7 @@ Expected<BargainingOutcome> EnergyDelayGame::solve_weighted(
                    /*raw_uses_l=*/true, raw);
 
   const opt::Box box = model_box(model_);
-  auto r = dual_solve(obj, slacks, batch.oracle(), box, hints.nbs,
+  auto r = dual_solve(obj, slacks, batch.oracle(), box, mode_, hints.nbs,
                       hints.trusted);
   if (!r.ok()) {
     // Strict-inequality slacks can exclude a corner that sits exactly on

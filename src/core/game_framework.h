@@ -14,10 +14,14 @@
 // additionally carries the protocol's own feasibility constraints
 // (AnalyticMacModel::feasibility_margin > 0).
 //
-// Each solve runs two independent solvers — the exterior-penalty
-// Nelder-Mead pipeline and a zooming dense grid — and returns the better
+// Each solve runs two independent solver families and returns the better
 // feasible point; the test suite asserts the two agree, which is this
 // library's substitute for a convex-programming package (DESIGN.md §2).
+// The production pipeline (SolverMode::kDescent) pairs a coarse grid scan
+// with a BDCA-style boosted descent and a tight anchored polish; the
+// original dense-grid/penalty pipeline survives as
+// SolverMode::kGridVerify, the independent verifier the descent path is
+// gated against at the agreement points.
 #pragma once
 
 #include <vector>
@@ -28,6 +32,21 @@
 #include "util/error.h"
 
 namespace edb::core {
+
+// Solver pipeline selector (DESIGN.md §2).
+//
+//   kDescent    — production: coarse grid seeding, BDCA boosted descent
+//                 (opt/descent.h), deep polish anchored at the coarse
+//                 incumbent.  ~15x fewer oracle evaluations per solve.
+//   kGridVerify — the dense-grid + exterior-penalty pipeline the descent
+//                 path replaced, retained verbatim as its independent
+//                 verifier: both modes must select the same operating
+//                 point with objectives equal within tolerance, asserted
+//                 by tests/opt_descent_test.cpp and bench/solve_cold.
+enum class SolverMode {
+  kDescent,
+  kGridVerify,
+};
 
 // One solved operating point of the protocol.
 struct OperatingPoint {
@@ -137,6 +156,10 @@ class EnergyDelayGame {
   const mac::AnalyticMacModel& model() const { return model_; }
   const AppRequirements& requirements() const { return req_; }
 
+  // Pipeline selection; kDescent is the production default.
+  void set_solver_mode(SolverMode mode) { mode_ = mode; }
+  SolverMode solver_mode() const { return mode_; }
+
  private:
   OperatingPoint make_point(std::vector<double> x) const;
   // `stats`, when non-null, accumulates the dual_solve's oracle cost.
@@ -149,6 +172,7 @@ class EnergyDelayGame {
 
   const mac::AnalyticMacModel& model_;
   AppRequirements req_;
+  SolverMode mode_ = SolverMode::kDescent;
 };
 
 }  // namespace edb::core

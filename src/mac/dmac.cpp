@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd.h"
+
 namespace edb::mac {
 
 DmacModel::DmacModel(ModelContext ctx, DmacConfig cfg)
@@ -110,7 +112,47 @@ void DmacModel::evaluate_batch(const double* xs, std::size_t n,
   const int depth = ctx_.ring.depth;
   const double p_sleep = ctx_.radio.p_sleep;
 
-  for (std::size_t i = 0; i < n; ++i) {
+  // SIMD main loop: the scalar expressions below, lane-wise, in the same
+  // association order (util/simd.h lane contract).
+  using util::DoubleLanes;
+  constexpr std::size_t W = DoubleLanes::kWidth;
+  const DoubleLanes half = DoubleLanes::broadcast(0.5);
+  const DoubleLanes sleep_b = DoubleLanes::broadcast(p_sleep);
+  const DoubleLanes stx_b = DoubleLanes::broadcast(c.stx);
+  const DoubleLanes srx_b = DoubleLanes::broadcast(c.srx);
+  const DoubleLanes mu_b = DoubleLanes::broadcast(c.mu);
+
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const DoubleLanes t_cycle = DoubleLanes::load(xs + i);
+    if (energies) {
+      const DoubleLanes cs = DoubleLanes::broadcast(c.cs_num) / t_cycle;
+      DoubleLanes worst = DoubleLanes::broadcast(0.0);
+      for (int d = 0; d < depth; ++d) {
+        const DoubleLanes total = cs + DoubleLanes::broadcast(c.tx_d[d]) +
+                                  DoubleLanes::broadcast(c.rx_d[d]) + stx_b +
+                                  srx_b + sleep_b;
+        worst = util::max(worst, total);
+      }
+      (worst * DoubleLanes::broadcast(ctx_.energy_epoch)).store(energies + i);
+    }
+    if (latencies) {
+      DoubleLanes total = half * t_cycle;  // source_wait: half a cycle
+      for (int d = 0; d < depth; ++d) total = total + mu_b;
+      total.store(latencies + i);
+    }
+    if (margins) {
+      const DoubleLanes load = DoubleLanes::broadcast(c.f_out1) * t_cycle;
+      const DoubleLanes k_chain = DoubleLanes::broadcast(cfg_.k_chain);
+      const DoubleLanes m_capacity = (k_chain - load) / k_chain;
+      const DoubleLanes m_schedule =
+          (t_cycle - DoubleLanes::broadcast(c.needed)) / t_cycle;
+      util::min(m_capacity, m_schedule).store(margins + i);
+    }
+  }
+
+  // Scalar tail (also the bit-parity reference for the lanes above).
+  for (; i < n; ++i) {
     const double t_cycle = xs[i];
     if (energies) {
       const double cs = c.cs_num / t_cycle;

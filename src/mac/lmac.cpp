@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.h"
+
 namespace edb::mac {
 
 LmacModel::LmacModel(ModelContext ctx, LmacConfig cfg)
@@ -101,7 +103,48 @@ void LmacModel::evaluate_batch(const double* xs, std::size_t n,
   const int depth = ctx_.ring.depth;
   const double p_sleep = ctx_.radio.p_sleep;
 
-  for (std::size_t i = 0; i < n; ++i) {
+  // SIMD main loop: the scalar expressions below, lane-wise, in the same
+  // association order (util/simd.h lane contract).
+  using util::DoubleLanes;
+  constexpr std::size_t W = DoubleLanes::kWidth;
+  const DoubleLanes n_slots_b = DoubleLanes::broadcast(cfg_.n_slots);
+  const DoubleLanes sleep_b = DoubleLanes::broadcast(p_sleep);
+  const DoubleLanes zero = DoubleLanes::broadcast(0.0);
+
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const DoubleLanes t_slot = DoubleLanes::load(xs + i);
+    if (energies) {
+      const DoubleLanes frame = n_slots_b * t_slot;
+      const DoubleLanes stx = DoubleLanes::broadcast(c.stx_num) / frame;
+      const DoubleLanes srx = DoubleLanes::broadcast(c.srx_num) / frame;
+      DoubleLanes worst = zero;
+      for (int d = 0; d < depth; ++d) {
+        const DoubleLanes total = DoubleLanes::broadcast(c.tx_d[d]) +
+                                  DoubleLanes::broadcast(c.rx_d[d]) + stx +
+                                  srx + sleep_b;
+        worst = util::max(worst, total);
+      }
+      (worst * DoubleLanes::broadcast(ctx_.energy_epoch)).store(energies + i);
+    }
+    if (latencies) {
+      const DoubleLanes hop = DoubleLanes::broadcast(c.hop_k) * t_slot;
+      DoubleLanes total = zero;  // source_wait() is 0 for LMAC
+      for (int d = 0; d < depth; ++d) total = total + hop;
+      total.store(latencies + i);
+    }
+    if (margins) {
+      const DoubleLanes m_fit =
+          (t_slot - DoubleLanes::broadcast(c.min_slot)) / t_slot;
+      const DoubleLanes load =
+          DoubleLanes::broadcast(c.f_out1) * (n_slots_b * t_slot);
+      const DoubleLanes m_capacity = DoubleLanes::broadcast(1.0) - load;
+      util::min(m_fit, m_capacity).store(margins + i);
+    }
+  }
+
+  // Scalar tail (also the bit-parity reference for the lanes above).
+  for (; i < n; ++i) {
     const double t_slot = xs[i];
     if (energies) {
       const double frame = cfg_.n_slots * t_slot;

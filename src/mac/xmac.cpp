@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd.h"
+
 namespace edb::mac {
 
 XmacModel::XmacModel(ModelContext ctx, XmacConfig cfg)
@@ -115,7 +117,57 @@ void XmacModel::evaluate_batch(const double* xs, std::size_t n,
   const int depth = ctx_.ring.depth;
   const double p_sleep = ctx_.radio.p_sleep;
 
-  for (std::size_t i = 0; i < n; ++i) {
+  // SIMD main loop: the scalar expressions below, lane-wise, in the same
+  // association order (util/simd.h lane contract), so every stored double
+  // is bit-identical to the scalar tail's.
+  using util::DoubleLanes;
+  constexpr std::size_t W = DoubleLanes::kWidth;
+  const DoubleLanes half = DoubleLanes::broadcast(0.5);
+  const DoubleLanes sleep_b = DoubleLanes::broadcast(p_sleep);
+  const DoubleLanes zero = DoubleLanes::broadcast(0.0);
+
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const DoubleLanes tw = DoubleLanes::load(xs + i);
+    if (energies) {
+      const DoubleLanes cs = DoubleLanes::broadcast(c.cs_num) / tw;
+      const DoubleLanes e_tx_pkt =
+          half * tw * DoubleLanes::broadcast(c.tx_k) +
+          DoubleLanes::broadcast(c.tx_ack) + DoubleLanes::broadcast(c.tx_data);
+      DoubleLanes worst = zero;
+      for (int d = 0; d < depth; ++d) {
+        const DoubleLanes total =
+            cs + DoubleLanes::broadcast(c.f_out[d]) * e_tx_pkt +
+            DoubleLanes::broadcast(c.rx_d[d]) +
+            DoubleLanes::broadcast(c.ovr_d[d]) + sleep_b;
+        worst = util::max(worst, total);
+      }
+      (worst * DoubleLanes::broadcast(ctx_.energy_epoch)).store(energies + i);
+    }
+    if (latencies) {
+      const DoubleLanes hop = half * tw + DoubleLanes::broadcast(c.sp) +
+                              DoubleLanes::broadcast(c.t_ack) +
+                              DoubleLanes::broadcast(c.t_data);
+      DoubleLanes total = zero;  // source_wait() is 0 for X-MAC
+      for (int d = 0; d < depth; ++d) total = total + hop;
+      total.store(latencies + i);
+    }
+    if (margins) {
+      const DoubleLanes per_pkt = half * tw +
+                                  DoubleLanes::broadcast(c.t_data) +
+                                  DoubleLanes::broadcast(c.t_ack);
+      const DoubleLanes busy = DoubleLanes::broadcast(c.fsum) * per_pkt;
+      const DoubleLanes max_util =
+          DoubleLanes::broadcast(cfg_.max_utilisation);
+      const DoubleLanes m_util = (max_util - busy) / max_util;
+      const DoubleLanes m_strobe =
+          (tw - DoubleLanes::broadcast(c.two_sp)) / tw;
+      util::min(m_util, m_strobe).store(margins + i);
+    }
+  }
+
+  // Scalar tail (also the bit-parity reference for the lanes above).
+  for (; i < n; ++i) {
     const double tw = xs[i];
     if (energies) {
       const double cs = c.cs_num / tw;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "opt/nelder_mead.h"
 #include "util/math.h"
@@ -33,6 +34,24 @@ Expected<ConstrainedResult> constrained_min(
   seeds.push_back(box.midpoint());
   Rng rng(0xedb0427ULL);
   for (int i = 1; i < opts.multistarts; ++i) seeds.push_back(box.sample(rng));
+
+  // Dedup bit-identical seeds (coarse-grid ties, or a warm start landing
+  // on the midpoint): each duplicate would burn an identical inner-solver
+  // budget to reach the same point.  First occurrence wins, so the seed
+  // order — and therefore the result — is unchanged.
+  std::vector<std::vector<double>> unique_seeds;
+  unique_seeds.reserve(seeds.size());
+  for (auto& s : seeds) {
+    bool seen = false;
+    for (const auto& u : unique_seeds) {
+      if (std::memcmp(s.data(), u.data(), s.size() * sizeof(double)) == 0) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) unique_seeds.push_back(std::move(s));
+  }
+  seeds = std::move(unique_seeds);
 
   ConstrainedResult best;
   best.value = kInf;

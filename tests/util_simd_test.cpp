@@ -1,0 +1,171 @@
+// Lane-wrapper semantics (util/simd.h): every lane operation must carry
+// exactly the IEEE-754 double the scalar expression produces — asserted
+// bit-for-bit in hex-float — plus the no-FMA rule and its end-to-end
+// consequence: the three paper kernels' SIMD loops match the scalar
+// entry points on every lane, including remainder tails.
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "mac/registry.h"
+
+namespace edb {
+namespace {
+
+using util::DoubleLanes;
+constexpr std::size_t W = DoubleLanes::kWidth;
+
+::testing::AssertionResult bits_eq(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%a != %a", a, b);
+  return ::testing::AssertionFailure() << buf;
+}
+
+// Values chosen to stress rounding, signed zeros, subnormals and range
+// extremes — anywhere a vector unit could plausibly diverge from scalar.
+const std::vector<double> kTricky = {
+    0.0,        -0.0,      1.0,          -1.0,     0.5,
+    1.0 + 0x1p-52,         1.0 - 0x1p-53,          0x1p-1074,
+    -0x1p-1074, 1e-308,    1e308,        -1e308,   1.0 / 3.0,
+    3.0,        6.02e23,   -2.5e-7,      0.015625, 42.0};
+
+TEST(UtilSimd, BackendAndWidthAreCoherent) {
+  RecordProperty("backend", util::simd_backend());
+  EXPECT_GE(W, 2u);
+  const std::string backend = util::simd_backend();
+  EXPECT_TRUE(backend == "avx2" || backend == "neon" || backend == "scalar");
+}
+
+TEST(UtilSimd, LoadStoreBroadcastRoundTrip) {
+  std::vector<double> buf = kTricky;
+  buf.resize(((buf.size() + W - 1) / W) * W, 7.25);
+  std::vector<double> out(W);
+  for (std::size_t off = 0; off + W <= buf.size(); off += W) {
+    const DoubleLanes v = DoubleLanes::load(buf.data() + off);
+    v.store(out.data());
+    for (std::size_t k = 0; k < W; ++k) {
+      EXPECT_TRUE(bits_eq(out[k], buf[off + k])) << "store lane " << k;
+      EXPECT_TRUE(bits_eq(v.lane(k), buf[off + k])) << "lane() " << k;
+    }
+  }
+  for (double c : kTricky) {
+    const DoubleLanes b = DoubleLanes::broadcast(c);
+    for (std::size_t k = 0; k < W; ++k) {
+      EXPECT_TRUE(bits_eq(b.lane(k), c)) << "broadcast lane " << k;
+    }
+  }
+}
+
+TEST(UtilSimd, ArithmeticMatchesScalarPerLane) {
+  const std::size_t n = kTricky.size();
+  std::vector<double> av(W), bv(W);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // Rotate the cases through the lanes so every lane carries a
+      // different operand pair on every (i, j) visit.
+      for (std::size_t k = 0; k < W; ++k) {
+        av[k] = kTricky[(i + k) % n];
+        bv[k] = kTricky[(j + k) % n];
+      }
+      const DoubleLanes a = DoubleLanes::load(av.data());
+      const DoubleLanes b = DoubleLanes::load(bv.data());
+      for (std::size_t k = 0; k < W; ++k) {
+        EXPECT_TRUE(bits_eq((a + b).lane(k), av[k] + bv[k])) << "+";
+        EXPECT_TRUE(bits_eq((a - b).lane(k), av[k] - bv[k])) << "-";
+        EXPECT_TRUE(bits_eq((a * b).lane(k), av[k] * bv[k])) << "*";
+        EXPECT_TRUE(bits_eq((a / b).lane(k), av[k] / bv[k])) << "/";
+        EXPECT_TRUE(
+            bits_eq(util::min(a, b).lane(k), std::min(av[k], bv[k])))
+            << "min";
+        EXPECT_TRUE(
+            bits_eq(util::max(a, b).lane(k), std::max(av[k], bv[k])))
+            << "max";
+      }
+    }
+  }
+}
+
+TEST(UtilSimd, MinMaxTiesAndSignedZerosMatchStd) {
+  // std::min/std::max are selects — min(a,b) returns a on ties, including
+  // the +0/-0 tie where the hardware min/max instructions disagree.
+  const double pz = 0.0, nz = -0.0;
+  struct Case {
+    double a, b;
+  };
+  for (const Case& c : {Case{pz, nz}, Case{nz, pz}, Case{1.0, 1.0},
+                        Case{nz, nz}, Case{pz, pz}}) {
+    const DoubleLanes a = DoubleLanes::broadcast(c.a);
+    const DoubleLanes b = DoubleLanes::broadcast(c.b);
+    for (std::size_t k = 0; k < W; ++k) {
+      EXPECT_TRUE(bits_eq(util::min(a, b).lane(k), std::min(c.a, c.b)));
+      EXPECT_TRUE(bits_eq(util::max(a, b).lane(k), std::max(c.a, c.b)));
+    }
+  }
+}
+
+TEST(UtilSimd, NoFusedMultiplyAdd) {
+  // a*a keeps a 2^-60 tail that separate rounding must drop; an fma
+  // would keep it.  Both the lane expression and the scalar reference
+  // (compiled with -ffp-contract=off) must round separately.
+  const double a = 1.0 + 0x1p-30;
+  const double prod = a * a;  // 1 + 2^-29 exactly: the 2^-60 tail rounds off
+  EXPECT_EQ(std::fma(a, a, -prod), 0x1p-60);  // the tail an FMA would keep
+  EXPECT_TRUE(bits_eq(a * a - prod, 0.0));    // scalar reference: no fuse
+  const DoubleLanes r = DoubleLanes::broadcast(a) * DoubleLanes::broadcast(a) -
+                        DoubleLanes::broadcast(prod);
+  for (std::size_t k = 0; k < W; ++k) {
+    EXPECT_TRUE(bits_eq(r.lane(k), 0.0)) << "lane " << k;
+  }
+}
+
+TEST(UtilSimd, PaperKernelsMatchScalarEntryPoints) {
+  // End-to-end: the SIMD-rewritten X-MAC/DMAC/LMAC batch kernels stay
+  // bit-identical to the scalar model calls.  n = 257 exercises full
+  // lane blocks plus a remainder tail for every supported width; the
+  // off-by-one slice exercises unaligned loads.
+  const mac::ModelContext ctx;
+  for (const auto& name : mac::paper_protocols()) {
+    auto model = mac::make_model(name, ctx).take();
+    ASSERT_EQ(model->params().dim(), 1u) << name;
+    const double lo = model->params().lower()[0];
+    const double hi = model->params().upper()[0];
+
+    const std::size_t n = 257;
+    std::vector<double> xs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = lo + (hi - lo) * static_cast<double>(i) /
+                       static_cast<double>(n - 1);
+    }
+    std::vector<double> e(n), l(n), m(n);
+    model->evaluate_batch(xs.data(), n, e.data(), l.data(), m.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<double> x = {xs[i]};
+      EXPECT_TRUE(bits_eq(e[i], model->energy(x))) << name << " E @ " << i;
+      EXPECT_TRUE(bits_eq(l[i], model->latency(x))) << name << " L @ " << i;
+      EXPECT_TRUE(bits_eq(m[i], model->feasibility_margin(x)))
+          << name << " margin @ " << i;
+    }
+
+    std::vector<double> e2(n - 1), l2(n - 1), m2(n - 1);
+    model->evaluate_batch(xs.data() + 1, n - 1, e2.data(), l2.data(),
+                          m2.data());
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      EXPECT_TRUE(bits_eq(e2[i], e[i + 1])) << name << " offset E @ " << i;
+      EXPECT_TRUE(bits_eq(l2[i], l[i + 1])) << name << " offset L @ " << i;
+      EXPECT_TRUE(bits_eq(m2[i], m[i + 1])) << name << " offset m @ " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edb
