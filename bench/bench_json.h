@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace edb::bench {
 
 class BenchJson {
@@ -30,6 +32,36 @@ class BenchJson {
     }
     quoted.push_back('"');
     fields_.emplace_back(name, quoted);
+  }
+
+  // Appends every metric of a registry snapshot under an "obs." prefix —
+  // counters as integers, gauges as level plus ".max", histograms as
+  // ".count"/".mean"/quantiles/".max" — so BENCH_*.json carries the run's
+  // instrumentation next to the baseline fields.  Existing baseline field
+  // names are never touched: the regression gates key on those, the
+  // "obs." namespace is purely additive.
+  void registry(const obs::MetricsSnapshot& snap) {
+    for (const auto& m : snap.entries) {
+      const std::string base = "obs." + m.name;
+      switch (m.kind) {
+        case obs::MetricKind::kCounter:
+          integer(base.c_str(), static_cast<long long>(m.count));
+          break;
+        case obs::MetricKind::kGauge:
+          integer(base.c_str(), m.gauge);
+          integer((base + ".max").c_str(), m.gauge_max);
+          break;
+        case obs::MetricKind::kHistogram:
+          integer((base + ".count").c_str(), static_cast<long long>(m.count));
+          number((base + ".mean").c_str(), m.mean);
+          number((base + ".p50").c_str(), m.p50);
+          number((base + ".p95").c_str(), m.p95);
+          number((base + ".p99").c_str(), m.p99);
+          number((base + ".p999").c_str(), m.p999);
+          number((base + ".max").c_str(), m.max);
+          break;
+      }
+    }
   }
 
   // Writes {"a": 1, ...}\n; returns false (with a warning) when the file

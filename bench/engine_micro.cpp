@@ -23,6 +23,8 @@
 #include "bench_json.h"
 #include "core/engine.h"
 #include "mac/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math.h"
 #include "util/thread_pool.h"
 
@@ -63,6 +65,9 @@ int main(int argc, char** argv) {
 
   std::printf("== engine_micro: %zu protocols x %d cells ==\n",
               protocols.size(), n_cells);
+
+  // EDB_TRACE_OUT=<path> captures fan/solver spans (EDB_OBS builds).
+  obs::begin_env_trace();
 
   core::ScenarioEngine baseline(core::EngineOptions{
       .threads = 1, .parallel = false, .warm_start = false,
@@ -120,7 +125,11 @@ int main(int argc, char** argv) {
   json.number("speedup", t_seq / t_par);
   json.number("worst_rel_diff", worst_rel);
   json.integer("mismatches", mismatches);
+  json.registry(obs::Registry::global().snapshot());
   json.write_file("BENCH_engine.json");
+
+  const std::string trace_path = obs::end_env_trace();
+  if (!trace_path.empty()) std::printf("wrote %s\n", trace_path.c_str());
 
   return mismatches == 0 ? 0 : 1;
 }

@@ -31,6 +31,8 @@
 #include "bench_json.h"
 #include "core/sweep.h"
 #include "mac/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/service.h"
 #include "util/rng.h"
 
@@ -93,6 +95,10 @@ int main(int argc, char** argv) {
     mix.push_back(std::move(q));
   }
 
+  // EDB_TRACE_OUT=<path>: capture the serving run for Perfetto (real
+  // spans only with EDB_OBS=ON; empty-but-valid trace otherwise).
+  obs::begin_env_trace();
+
   // --- served path -------------------------------------------------------
   service::ServiceOptions opts;
   opts.engine.threads = threads;
@@ -117,10 +123,10 @@ int main(int argc, char** argv) {
           : 0.0;
   std::printf("served : %8.1f ms  (%.0f queries/s, hit rate %.3f, "
               "dedup %.3f, %zu solves in %zu chains, p50 %.2f ms, "
-              "p95 %.2f ms)\n",
+              "p95 %.2f ms, p99 %.2f ms, p99.9 %.2f ms)\n",
               served_ms, qps_served, stats.cache.hit_rate(), dedup_rate,
               stats.planner.solved, stats.planner.sweep_jobs, stats.p50_ms,
-              stats.p95_ms);
+              stats.p95_ms, stats.p99_ms, stats.p999_ms);
 
   // --- cold path (subsample, no cache, no batching) ----------------------
   service::ServiceOptions cold_opts = opts;
@@ -198,12 +204,22 @@ int main(int argc, char** argv) {
                static_cast<long long>(stats.planner.sweep_jobs));
   json.number("p50_ms", stats.p50_ms);
   json.number("p95_ms", stats.p95_ms);
+  json.number("p99_ms", stats.p99_ms);
+  json.number("p999_ms", stats.p999_ms);
   json.integer("cold_sample", cold_sample);
   json.number("cold_ms", cold_ms);
   json.number("qps_cold", qps_cold);
   json.number("speedup_vs_cold", speedup);
   json.integer("mismatches", mismatches);
+  json.registry(obs::Registry::global().snapshot());
   json.write_file("BENCH_service.json");
+
+  // The registry's own view of the run — cache counters always, the full
+  // solver/engine/service span counters when built with EDB_OBS.
+  std::printf("\n%s", service::TuningService::metrics_text().c_str());
+
+  const std::string trace_path = obs::end_env_trace();
+  if (!trace_path.empty()) std::printf("wrote %s\n", trace_path.c_str());
 
   return mismatches == 0 ? 0 : 1;
 }

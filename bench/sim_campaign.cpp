@@ -28,6 +28,8 @@
 
 #include "bench_json.h"
 #include "catalog/validation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -68,6 +70,10 @@ int main(int argc, char** argv) {
   std::printf("== Validation atlas: sim campaigns vs analytic models ==\n");
   std::printf("%zu families (cap %zu), R = %d, campaign width %d\n\n",
               cat.families().size(), cap, replications, threads);
+
+  // EDB_TRACE_OUT=<path> captures campaign/replication spans (EDB_OBS
+  // builds) as Chrome trace-event JSON.
+  obs::begin_env_trace();
 
   const auto start = std::chrono::steady_clock::now();
   const auto atlas = catalog::run_validation_atlas(cat, opts);
@@ -155,7 +161,11 @@ int main(int argc, char** argv) {
               atlas.replications
                   ? static_cast<double>(atlas.events) / atlas.replications
                   : 0.0);
+  json.registry(obs::Registry::global().snapshot());
   json.write_file("BENCH_sim.json");
+
+  const std::string trace_path = obs::end_env_trace();
+  if (!trace_path.empty()) std::printf("wrote %s\n", trace_path.c_str());
 
   if (!identical) {
     std::fprintf(stderr,

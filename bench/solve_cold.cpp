@@ -46,6 +46,8 @@
 #include "core/game_framework.h"
 #include "core/scenario.h"
 #include "mac/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math.h"
 #include "util/simd.h"
 
@@ -101,6 +103,11 @@ int main(int argc, char** argv) {
 
   std::printf("== solve_cold: %d cold solves per paper model (simd: %s) ==\n",
               repeats, util::simd_backend());
+
+  // EDB_TRACE_OUT=<path> captures the run as Chrome trace-event JSON
+  // (spans only exist in EDB_OBS=ON builds; otherwise the file is a
+  // valid empty trace).
+  obs::begin_env_trace();
 
   bench::BenchJson json;
   json.integer("repeats", repeats);
@@ -250,7 +257,11 @@ int main(int argc, char** argv) {
   json.number("evals_per_solve",
               static_cast<double>(total_evals) / total_solves);
   json.number("ns_per_eval", ns_per_eval);
+  json.registry(obs::Registry::global().snapshot());
   json.write_file("BENCH_solver.json");
+
+  const std::string trace_path = obs::end_env_trace();
+  if (!trace_path.empty()) std::printf("wrote %s\n", trace_path.c_str());
 
   return regressed ? 1 : 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/obs.h"
 #include "opt/batch.h"
 #include "opt/bounds.h"
 #include "opt/descent.h"
@@ -299,6 +300,7 @@ Expected<opt::VectorResult> dual_solve(
     const opt::BatchObjective& batch_fence, const opt::Box& box,
     SolverMode mode, const std::vector<double>& seed = {},
     bool trusted = false) {
+  EDB_SPAN("solver.dual_solve");
   const bool warm = trusted && seed.size() == box.dim();
   const bool use_descent = mode == SolverMode::kDescent;
   // The scalar fence survives for the sequential kGridVerify stage-2
@@ -316,7 +318,10 @@ Expected<opt::VectorResult> dual_solve(
       use_descent
           ? opt::GridOptions{.points_per_dim = 65, .rounds = 3, .zoom = 0.15}
           : opt::GridOptions{.points_per_dim = 65, .rounds = 4, .zoom = 0.15};
-  auto grid = opt::grid_refine_min(batch_fence, box, stage1_opts);
+  auto grid = [&] {
+    EDB_SPAN("solver.stage1.grid");
+    return opt::grid_refine_min(batch_fence, box, stage1_opts);
+  }();
   const bool grid_ok = !grid.x.empty() && std::isfinite(grid.value);
 
   // The descent stage's shared budget (cold multistart and warm descent):
@@ -382,17 +387,20 @@ Expected<opt::VectorResult> dual_solve(
 
   opt::VectorResult cand;
   bool cand_is_warm_descent = false;
-  if (warm && grid_ok) {
-    // The fence keeps the descent strictly feasible.
-    if (use_descent) {
-      cand = opt::bdca_descend(batch_fence, box, box.clamp(seed),
-                               descent_opts());
+  {
+    EDB_SPAN("solver.stage2");
+    if (warm && grid_ok) {
+      // The fence keeps the descent strictly feasible.
+      if (use_descent) {
+        cand = opt::bdca_descend(batch_fence, box, box.clamp(seed),
+                                 descent_opts());
+      } else {
+        cand = opt::nelder_mead_min(fence, box, box.clamp(seed), {});
+      }
+      cand_is_warm_descent = true;
     } else {
-      cand = opt::nelder_mead_min(fence, box, box.clamp(seed), {});
+      cand = cold_stage2();
     }
-    cand_is_warm_descent = true;
-  } else {
-    cand = cold_stage2();
   }
   cost.absorb_cost(cand);
 
@@ -414,6 +422,7 @@ Expected<opt::VectorResult> dual_solve(
   opt::VectorResult best = grid_ok ? grid : cand;
   const std::vector<double>& anchor = grid_ok ? grid.x : cand.x;
   {
+    EDB_SPAN("solver.stage3.polish");
     std::vector<double> lo(box.dim()), hi(box.dim());
     for (std::size_t i = 0; i < box.dim(); ++i) {
       const double half = 1e-3 * box.width(i);
@@ -460,6 +469,9 @@ Expected<opt::VectorResult> dual_solve(
   best.blocks = cost.blocks;
   best.oracle_ns = cost.oracle_ns;
   best.converged = true;
+  EDB_COUNT("solver.solves", 1);
+  EDB_COUNT("solver.oracle.evals", cost.evaluations);
+  EDB_COUNT("solver.oracle.blocks", cost.blocks);
   return best;
 }
 
@@ -486,6 +498,7 @@ Error p3_infeasible_error(std::string_view protocol) {
 }
 
 ProtocolEnvelope protocol_envelope(const mac::AnalyticMacModel& model) {
+  EDB_SPAN("solver.envelope");
   const opt::Box box = model_box(model);
   // The same lattice family as dual_solve's stage 1, refined a little
   // deeper: the envelope feeds threshold comparisons against sweep values,

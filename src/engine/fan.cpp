@@ -1,12 +1,50 @@
 #include "engine/fan.h"
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace edb::engine {
 
+// Observability (obs/obs.h, no-op unless EDB_OBS): every executor wraps
+// the batch in an "engine.fan" span, counts jobs, and maintains an
+// "engine.fan.pending" gauge that decays to 0 as slots complete — queue
+// depth for dashboards, with the gauge max recording the largest batch.
+// Per-job "engine.job" spans time each slot on the thread that ran it.
+
+namespace {
+
+#if defined(EDB_OBS)
+template <typename Run>
+void run_instrumented(std::size_t n,
+                      const std::function<void(std::size_t)>& fn, Run run) {
+  EDB_SPAN("engine.fan");
+  EDB_COUNT("engine.fan.batches", 1);
+  EDB_COUNT("engine.fan.jobs", n);
+  EDB_GAUGE_ADD("engine.fan.pending", static_cast<std::int64_t>(n));
+  run(n, std::function<void(std::size_t)>([&](std::size_t i) {
+        EDB_SPAN("engine.job");
+        fn(i);
+        EDB_GAUGE_ADD("engine.fan.pending", -1);
+      }));
+}
+#else
+// Disabled build: fn passes through untouched — no wrapper lambda, no
+// extra indirection per job.
+template <typename Run>
+void run_instrumented(std::size_t n,
+                      const std::function<void(std::size_t)>& fn, Run run) {
+  run(n, fn);
+}
+#endif
+
+}  // namespace
+
 void SequentialExecutor::run(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i) fn(i);
+  run_instrumented(
+      n, fn, [](std::size_t m, const std::function<void(std::size_t)>& f) {
+        for (std::size_t i = 0; i < m; ++i) f(i);
+      });
 }
 
 struct ParallelExecutor::Impl {
@@ -21,7 +59,10 @@ ParallelExecutor::~ParallelExecutor() = default;
 
 void ParallelExecutor::run(std::size_t n,
                            const std::function<void(std::size_t)>& fn) {
-  impl_->pool.parallel_for(n, fn);
+  run_instrumented(
+      n, fn, [this](std::size_t m, const std::function<void(std::size_t)>& f) {
+        impl_->pool.parallel_for(m, f);
+      });
 }
 
 int ParallelExecutor::threads() const { return impl_->pool.size(); }

@@ -1,0 +1,288 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace edb::obs {
+
+namespace {
+
+// Round-robin stripe assignment: each thread grabs the next slot on its
+// first record and keeps it for life.  Collisions only appear once more
+// than kStripes threads record, and cost correctness nothing — stripes
+// are summed/merged on read.
+std::size_t this_thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) noexcept {
+  stripes_[this_thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Stripe& s : stripes_) sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::reset() noexcept {
+  for (Stripe& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t v) noexcept {
+  v_.store(v, std::memory_order_relaxed);
+  raise_max(v);
+}
+
+void Gauge::add(std::int64_t delta) noexcept {
+  const std::int64_t v =
+      v_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  raise_max(v);
+}
+
+std::int64_t Gauge::value() const noexcept {
+  return v_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Gauge::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+void Gauge::raise_max(std::int64_t v) noexcept {
+  std::int64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::reset() noexcept {
+  v_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(double v) noexcept {
+  Stripe& s = stripes_[this_thread_stripe()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.h.record(v);
+}
+
+LatencyHistogram Histogram::merged() const {
+  LatencyHistogram out;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    out.merge(s.h);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.h.reset();
+  }
+}
+
+namespace {
+
+std::string format_g(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string format_i64(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+// JSON numbers via %.17g round-trip doubles exactly; names are metric
+// identifiers ([a-z0-9._] by convention) so no escaping is needed beyond
+// the paranoia check in append_json_key.
+void append_json_key(std::string& out, const std::string& name,
+                     const char* suffix) {
+  out += '"';
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += suffix;
+  out += "\": ";
+}
+
+void append_json_number(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::text() const {
+  Table t({"metric", "kind", "count", "value", "mean", "p50", "p95", "p99",
+           "p99.9", "max"});
+  for (const MetricValue& m : entries) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        t.row({m.name, "counter", format_u64(m.count), "", "", "", "", "", "",
+               ""});
+        break;
+      case MetricKind::kGauge:
+        t.row({m.name, "gauge", "", format_i64(m.gauge), "", "", "", "", "",
+               format_i64(m.gauge_max)});
+        break;
+      case MetricKind::kHistogram:
+        t.row({m.name, "hist", format_u64(m.count), "", format_g(m.mean),
+               format_g(m.p50), format_g(m.p95), format_g(m.p99),
+               format_g(m.p999), format_g(m.max)});
+        break;
+    }
+  }
+  std::ostringstream out;
+  t.print(out);
+  return out.str();
+}
+
+std::string MetricsSnapshot::json() const {
+  std::string out = "{";
+  bool first = true;
+  auto field = [&](const std::string& name, const char* suffix, auto append) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_key(out, name, suffix);
+    append();
+  };
+  for (const MetricValue& m : entries) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        field(m.name, "", [&] { out += format_u64(m.count); });
+        break;
+      case MetricKind::kGauge:
+        field(m.name, "", [&] { out += format_i64(m.gauge); });
+        field(m.name, ".max", [&] { out += format_i64(m.gauge_max); });
+        break;
+      case MetricKind::kHistogram:
+        field(m.name, ".count", [&] { out += format_u64(m.count); });
+        field(m.name, ".mean", [&] { append_json_number(out, m.mean); });
+        field(m.name, ".p50", [&] { append_json_number(out, m.p50); });
+        field(m.name, ".p95", [&] { append_json_number(out, m.p95); });
+        field(m.name, ".p99", [&] { append_json_number(out, m.p99); });
+        field(m.name, ".p999", [&] { append_json_number(out, m.p999); });
+        field(m.name, ".max", [&] { append_json_number(out, m.max); });
+        break;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Entry& Registry::find_or_create(std::string_view name,
+                                          MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      EDB_ASSERT(e.kind == kind, "metric re-registered as a different kind");
+      return e;
+    }
+  }
+  Entry& e = entries_.emplace_back();
+  e.name = std::string(name);
+  e.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      e.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return e;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *find_or_create(name, MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return *find_or_create(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return *find_or_create(name, MetricKind::kHistogram).histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.entries.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricValue m;
+    m.name = e.name;
+    m.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        m.count = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        m.gauge = e.gauge->value();
+        m.gauge_max = e.gauge->max();
+        break;
+      case MetricKind::kHistogram: {
+        const LatencyHistogram h = e.histogram->merged();
+        m.count = h.count();
+        m.mean = h.mean();
+        m.p50 = h.quantile(0.50);
+        m.p95 = h.quantile(0.95);
+        m.p99 = h.quantile(0.99);
+        m.p999 = h.quantile(0.999);
+        m.max = h.max();
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(m));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& e : entries_) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        e.counter->reset();
+        break;
+      case MetricKind::kGauge:
+        e.gauge->reset();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram->reset();
+        break;
+    }
+  }
+}
+
+}  // namespace edb::obs

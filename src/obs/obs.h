@@ -1,0 +1,76 @@
+// Hot-path instrumentation macros.
+//
+// Instrumented code includes this header and writes
+//
+//   EDB_SPAN("solver.dual_solve");          // RAII scope span
+//   EDB_COUNT("solver.oracle.evals", n);    // counter += n
+//   EDB_GAUGE_SET("engine.fan.pending", n); // gauge = n
+//   EDB_GAUGE_ADD("engine.fan.pending", -1);
+//   EDB_RECORD("service.latency", seconds); // histogram sample
+//
+// With EDB_OBS defined (cmake -DEDB_OBS=ON) these expand to registry /
+// tracer calls; metric lookups happen once per call site via a
+// function-local static reference, so the steady-state cost is one
+// striped relaxed fetch_add (counter), one atomic op (gauge), or one
+// uncontended-lock bucket increment (histogram).  Span cost is gated
+// again at runtime by obs::Tracer::set_enabled().
+//
+// Without EDB_OBS every macro expands to ((void)0): no registry lookup,
+// no atomic, no string literal in the binary — the true-zero-cost-off
+// guarantee from DESIGN.md §8.  Either way the instrumented computation
+// is untouched; macro arguments for names must be string literals and
+// value arguments are evaluated exactly once (wrapped in the expansion)
+// in the enabled build and NOT evaluated in the disabled build, so keep
+// them side-effect free.
+#pragma once
+
+#if defined(EDB_OBS)
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#define EDB_OBS_CONCAT_INNER(a, b) a##b
+#define EDB_OBS_CONCAT(a, b) EDB_OBS_CONCAT_INNER(a, b)
+
+#define EDB_SPAN(name) \
+  ::edb::obs::Span EDB_OBS_CONCAT(edb_obs_span_, __LINE__) { name }
+
+#define EDB_COUNT(name, n)                                             \
+  do {                                                                 \
+    static ::edb::obs::Counter& edb_obs_metric =                       \
+        ::edb::obs::Registry::global().counter(name);                  \
+    edb_obs_metric.add(static_cast<std::uint64_t>(n));                 \
+  } while (0)
+
+#define EDB_GAUGE_SET(name, v)                                         \
+  do {                                                                 \
+    static ::edb::obs::Gauge& edb_obs_metric =                         \
+        ::edb::obs::Registry::global().gauge(name);                    \
+    edb_obs_metric.set(static_cast<std::int64_t>(v));                  \
+  } while (0)
+
+#define EDB_GAUGE_ADD(name, delta)                                     \
+  do {                                                                 \
+    static ::edb::obs::Gauge& edb_obs_metric =                         \
+        ::edb::obs::Registry::global().gauge(name);                    \
+    edb_obs_metric.add(static_cast<std::int64_t>(delta));              \
+  } while (0)
+
+#define EDB_RECORD(name, seconds)                                      \
+  do {                                                                 \
+    static ::edb::obs::Histogram& edb_obs_metric =                     \
+        ::edb::obs::Registry::global().histogram(name);                \
+    edb_obs_metric.record(static_cast<double>(seconds));               \
+  } while (0)
+
+#else  // !EDB_OBS
+
+#define EDB_SPAN(name) ((void)0)
+#define EDB_COUNT(name, n) ((void)0)
+#define EDB_GAUGE_SET(name, v) ((void)0)
+#define EDB_GAUGE_ADD(name, delta) ((void)0)
+#define EDB_RECORD(name, seconds) ((void)0)
+
+#endif  // EDB_OBS

@@ -1,0 +1,171 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace edb::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Monotonic clock anchored at first use so timestamps are small.
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+// Per-thread ring of recent spans.  Owned by shared_ptr from both the
+// thread_local (writer) and the global trace list (reader), so events
+// survive thread exit and collect() can run after workers are gone.
+struct ThreadTrace {
+  explicit ThreadTrace(std::uint32_t id) : tid(id) {
+    ring.reserve(kRingCapacity);
+  }
+
+  void push(const TraceEvent& ev) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (ring.size() < kRingCapacity) {
+      ring.push_back(ev);
+    } else {
+      ring[next_overwrite] = ev;
+      next_overwrite = (next_overwrite + 1) % kRingCapacity;
+    }
+  }
+
+  const std::uint32_t tid;
+  std::mutex mutex;  // guards ring against a concurrent collect()/clear()
+  std::vector<TraceEvent> ring;
+  std::size_t next_overwrite = 0;
+};
+
+struct TraceList {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTrace>> threads;
+  std::uint32_t next_tid = 1;
+};
+
+TraceList& trace_list() {
+  // Leaked on purpose: worker thread_locals may destruct after a static
+  // TraceList would, and the exit-time order is not worth depending on.
+  static TraceList* list = new TraceList;
+  return *list;
+}
+
+ThreadTrace& this_thread_trace() {
+  thread_local std::shared_ptr<ThreadTrace> trace = [] {
+    TraceList& list = trace_list();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    auto t = std::make_shared<ThreadTrace>(list.next_tid++);
+    list.threads.push_back(t);
+    return t;
+  }();
+  return *trace;
+}
+
+}  // namespace
+
+bool Tracer::enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  TraceList& list = trace_list();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  for (auto& t : list.threads) {
+    std::lock_guard<std::mutex> tlock(t->mutex);
+    t->ring.clear();
+    t->next_overwrite = 0;
+  }
+}
+
+std::vector<TraceEvent> Tracer::collect() {
+  std::vector<TraceEvent> out;
+  TraceList& list = trace_list();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  for (auto& t : list.threads) {
+    std::lock_guard<std::mutex> tlock(t->mutex);
+    out.insert(out.end(), t->ring.begin(), t->ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.dur_ns > b.dur_ns;  // parents before children
+            });
+  return out;
+}
+
+std::string Tracer::chrome_json() {
+  const std::vector<TraceEvent> events = collect();
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\": \"%s\", \"cat\": \"edb\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  first ? "" : ",", ev.name,
+                  static_cast<double>(ev.start_ns) / 1e3,
+                  static_cast<double>(ev.dur_ns) / 1e3, ev.tid);
+    out += buf;
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+Span::Span(const char* name) noexcept
+    : name_(name), start_ns_(Tracer::enabled() ? now_ns() | 1u : 0) {}
+    // | 1: keeps a span that lands exactly on the epoch distinguishable
+    // from the disabled sentinel (costs at most 1 ns of skew).
+
+Span::~Span() {
+  if (start_ns_ == 0) return;
+  // A disable between entry and exit still records: the ring is bounded,
+  // so a stale tail event is harmless and pairing stays trivial.
+  TraceEvent ev;
+  ev.name = name_;
+  ev.start_ns = start_ns_;
+  const std::uint64_t end = now_ns();
+  ev.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+  ev.tid = this_thread_trace().tid;
+  this_thread_trace().push(ev);
+}
+
+void begin_env_trace() {
+  if (std::getenv("EDB_TRACE_OUT") == nullptr) return;
+  Tracer::clear();
+  Tracer::set_enabled(true);
+}
+
+std::string end_env_trace() {
+  const char* path = std::getenv("EDB_TRACE_OUT");
+  if (path == nullptr) return "";
+  Tracer::set_enabled(false);
+  Tracer::write_chrome_json(path);
+  return path;
+}
+
+}  // namespace edb::obs

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/obs.h"
 #include "opt/lattice.h"
 #include "util/error.h"
 #include "util/math.h"
@@ -131,6 +132,8 @@ bool fd_gradient(Oracle& oracle, const Box& box, const std::vector<double>& x,
 VectorResult descend_impl(const BatchObjective& f, const Box& box,
                           std::vector<double> x0, double f0, bool have_f0,
                           const DescentOptions& opts) {
+  EDB_SPAN("opt.descent");
+  EDB_COUNT("opt.descent.descends", 1);
   const std::size_t dim = box.dim();
   VectorResult r;
   Oracle oracle(f, r);
@@ -238,6 +241,7 @@ VectorResult bdca_descend(const BatchObjective& f, const Box& box,
 
 VectorResult bdca_multistart_min(const BatchObjective& f, const Box& box,
                                  const DescentOptions& opts) {
+  EDB_SPAN("opt.descent.multistart");
   const std::size_t dim = box.dim();
   VectorResult total;
   total.value = kInf;
@@ -313,6 +317,8 @@ VectorResult bdca_multistart_min(const BatchObjective& f, const Box& box,
     return total;
   }
 
+  EDB_COUNT("opt.descent.seeds", n_points);
+  EDB_COUNT("opt.descent.starts", chosen.size());
   VectorResult best;
   best.value = kInf;
   for (const Seed* s : chosen) {

@@ -6,7 +6,17 @@ namespace edb::service {
 
 ShardedResultCache::ShardedResultCache(std::size_t capacity,
                                        std::size_t shards)
-    : shards_(std::max<std::size_t>(1, shards)), capacity_(capacity) {
+    : shards_(std::max<std::size_t>(1, shards)),
+      capacity_(capacity),
+      hits_(obs::Registry::global().counter("service.cache.hits")),
+      misses_(obs::Registry::global().counter("service.cache.misses")),
+      evictions_(obs::Registry::global().counter("service.cache.evictions")),
+      negative_hits_(
+          obs::Registry::global().counter("service.cache.negative_hits")),
+      base_hits_(hits_.value()),
+      base_misses_(misses_.value()),
+      base_evictions_(evictions_.value()),
+      base_negative_hits_(negative_hits_.value()) {
   // Spread the budget; the remainder goes to the first shards so the
   // total matches `capacity` exactly (when capacity >= shard count).
   const std::size_t n = shards_.size();
@@ -28,11 +38,12 @@ std::optional<ProtocolOutcome> ShardedResultCache::get(const QueryKey& key) {
   std::lock_guard<std::mutex> lock(s.mutex);
   const auto it = s.index.find(key.canonical);
   if (it == s.index.end()) {
-    ++s.misses;
+    misses_.add(1);
     return std::nullopt;
   }
   s.lru.splice(s.lru.begin(), s.lru, it->second);
-  ++s.hits;
+  hits_.add(1);
+  if (!it->second->value.feasible()) negative_hits_.add(1);
   return it->second->value;
 }
 
@@ -51,7 +62,7 @@ void ShardedResultCache::put(const QueryKey& key, ProtocolOutcome value) {
   while (s.lru.size() > s.capacity) {
     s.index.erase(s.lru.back().canonical);
     s.lru.pop_back();
-    ++s.evictions;
+    evictions_.add(1);
   }
 }
 
@@ -59,11 +70,20 @@ CacheStats ShardedResultCache::stats() const {
   CacheStats out;
   out.capacity = capacity_;
   out.shards = shards_.size();
+  // Deltas since construction, clamped: another instance recording
+  // concurrently can only inflate the shared totals, never push a delta
+  // negative, so the clamp is pure belt-and-braces against reordered
+  // racing reads.
+  auto delta = [](const obs::Counter& c, std::uint64_t base) {
+    const std::uint64_t v = c.value();
+    return static_cast<std::size_t>(v > base ? v - base : 0);
+  };
+  out.hits = delta(hits_, base_hits_);
+  out.misses = delta(misses_, base_misses_);
+  out.evictions = delta(evictions_, base_evictions_);
+  out.negative_hits = delta(negative_hits_, base_negative_hits_);
   for (const Shard& s : shards_) {
     std::lock_guard<std::mutex> lock(s.mutex);
-    out.hits += s.hits;
-    out.misses += s.misses;
-    out.evictions += s.evictions;
     out.entries += s.lru.size();
   }
   return out;

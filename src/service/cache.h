@@ -14,13 +14,23 @@
 //
 // Thread-safety: get(), put(), stats(), size() and clear() are safe to
 // call concurrently from any thread — each shard locks independently, so
-// readers of different shards never contend, and stats() aggregates
-// per-shard counters under the shard locks (a snapshot, not a fence: a
-// racing put may or may not be counted).  Construction and destruction
-// must not race any other call.
+// readers of different shards never contend.  Construction and
+// destruction must not race any other call.
+//
+// Counters live on the metrics registry (obs/metrics.h) under
+// "service.cache.hits" / ".misses" / ".evictions" / ".negative_hits" —
+// the same numbers a registry snapshot exports.  The registry counters
+// are process-wide totals across every cache instance; stats() reports
+// this instance's contribution as the delta since its construction
+// (exact whenever one cache instance is recording at a time, which every
+// test and the service hold; a snapshot, not a fence: a racing put may
+// or may not be counted).  A negative hit is a hit whose cached outcome
+// is infeasible — negative caching paying off — and is counted on top of
+// the plain hit.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -30,6 +40,7 @@
 #include <vector>
 
 #include "core/game_framework.h"
+#include "obs/metrics.h"
 #include "service/key.h"
 
 namespace edb::service {
@@ -49,6 +60,7 @@ struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t evictions = 0;
+  std::size_t negative_hits = 0;  // hits whose cached outcome is infeasible
   std::size_t entries = 0;
   std::size_t capacity = 0;
   std::size_t shards = 0;
@@ -91,15 +103,23 @@ class ShardedResultCache {
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
     std::size_t capacity = 0;
-    std::size_t hits = 0;
-    std::size_t misses = 0;
-    std::size_t evictions = 0;
   };
 
   Shard& shard_of(const QueryKey& key);
 
   std::vector<Shard> shards_;
   std::size_t capacity_ = 0;
+
+  // Registry-owned counters (shared across instances) and this
+  // instance's construction-time baselines for the stats() deltas.
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+  obs::Counter& negative_hits_;
+  std::uint64_t base_hits_ = 0;
+  std::uint64_t base_misses_ = 0;
+  std::uint64_t base_evictions_ = 0;
+  std::uint64_t base_negative_hits_ = 0;
 };
 
 }  // namespace edb::service

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "mac/registry.h"
+#include "obs/obs.h"
 
 namespace edb::service {
 namespace {
@@ -41,6 +42,7 @@ BatchPlanner::BatchPlanner(core::ScenarioEngine& engine,
 
 std::vector<Expected<TuningResult>> BatchPlanner::run(
     const std::vector<TuningQuery>& queries) {
+  EDB_SPAN("service.plan.batch");
   ++stats_.batches;
   stats_.queries += queries.size();
 
@@ -53,47 +55,50 @@ std::vector<Expected<TuningResult>> BatchPlanner::run(
   // Stage 1+2: resolve keys, drain the cache, coalesce in-batch repeats.
   std::vector<Miss> misses;
   std::unordered_map<std::string, std::size_t> miss_index;
-  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
-    const TuningQuery& q = queries[qi];
-    auto valid = q.scenario.validate();
-    if (!valid.ok()) {
-      out[qi] = valid.error();
-      failed[qi] = true;
-      continue;
-    }
-    if (!(q.options.alpha > 0.0 && q.options.alpha < 1.0)) {
-      // Reject here rather than letting the engine's assertion abort the
-      // dispatcher: a malformed query is the caller's error, not ours.
-      out[qi] = make_error(ErrorCode::kInvalidArgument,
-                           "bargaining power alpha must lie in (0, 1)");
-      failed[qi] = true;
-      continue;
-    }
-    auto protocols = canonical_protocol_set(q.protocols);
-    if (!protocols.ok()) {
-      out[qi] = protocols.error();
-      failed[qi] = true;
-      continue;
-    }
-    partial[qi].key = query_key(q.scenario, *protocols, q.options);
-    partial[qi].per_protocol.resize(protocols->size());
-    for (std::size_t pi = 0; pi < protocols->size(); ++pi) {
-      const std::string& name = (*protocols)[pi];
-      const QueryKey key = protocol_key(q.scenario, name, q.options);
-      ++stats_.protocol_queries;
-      if (auto cached = cache_.get(key)) {
-        ++stats_.cache_hits;
-        partial[qi].per_protocol[pi] = std::move(*cached);
+  {
+    EDB_SPAN("service.plan.resolve");
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      const TuningQuery& q = queries[qi];
+      auto valid = q.scenario.validate();
+      if (!valid.ok()) {
+        out[qi] = valid.error();
+        failed[qi] = true;
         continue;
       }
-      const auto it = miss_index.find(key.canonical);
-      if (it != miss_index.end()) {
-        ++stats_.coalesced;
-        misses[it->second].sinks.emplace_back(qi, pi);
+      if (!(q.options.alpha > 0.0 && q.options.alpha < 1.0)) {
+        // Reject here rather than letting the engine's assertion abort the
+        // dispatcher: a malformed query is the caller's error, not ours.
+        out[qi] = make_error(ErrorCode::kInvalidArgument,
+                             "bargaining power alpha must lie in (0, 1)");
+        failed[qi] = true;
         continue;
       }
-      miss_index.emplace(key.canonical, misses.size());
-      misses.push_back(Miss{key, name, &q, {{qi, pi}}});
+      auto protocols = canonical_protocol_set(q.protocols);
+      if (!protocols.ok()) {
+        out[qi] = protocols.error();
+        failed[qi] = true;
+        continue;
+      }
+      partial[qi].key = query_key(q.scenario, *protocols, q.options);
+      partial[qi].per_protocol.resize(protocols->size());
+      for (std::size_t pi = 0; pi < protocols->size(); ++pi) {
+        const std::string& name = (*protocols)[pi];
+        const QueryKey key = protocol_key(q.scenario, name, q.options);
+        ++stats_.protocol_queries;
+        if (auto cached = cache_.get(key)) {
+          ++stats_.cache_hits;
+          partial[qi].per_protocol[pi] = std::move(*cached);
+          continue;
+        }
+        const auto it = miss_index.find(key.canonical);
+        if (it != miss_index.end()) {
+          ++stats_.coalesced;
+          misses[it->second].sinks.emplace_back(qi, pi);
+          continue;
+        }
+        miss_index.emplace(key.canonical, misses.size());
+        misses.push_back(Miss{key, name, &q, {{qi, pi}}});
+      }
     }
   }
 
@@ -121,11 +126,15 @@ std::vector<Expected<TuningResult>> BatchPlanner::run(
     }
 
     core::SweepPlan plan = core::plan_point_queries(points);
-    auto results = engine_.run_sweeps(plan.jobs);
+    auto results = [&] {
+      EDB_SPAN("service.plan.solve");
+      return engine_.run_sweeps(plan.jobs);
+    }();
     stats_.sweep_jobs += plan.jobs.size();
     for (const auto& r : results) stats_.solved += r.cells.size();
 
     // Stage 4: install and scatter.
+    EDB_SPAN("service.plan.install");
     for (std::size_t mi = 0; mi < misses.size(); ++mi) {
       const core::SweepSlot slot = plan.slots[mi];
       const core::SweepCell& cell = results[slot.job].cells[slot.cell];

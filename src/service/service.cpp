@@ -9,6 +9,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace edb::service {
 
 namespace internal {
@@ -72,6 +75,9 @@ struct TuningService::Impl {
         }
       }
 
+      EDB_SPAN("service.batch");
+      EDB_GAUGE_ADD("service.queue.depth",
+                    -static_cast<std::int64_t>(batch.size()));
       std::vector<TuningQuery> queries;
       queries.reserve(batch.size());
       for (const Pending& p : batch) queries.push_back(p.query);
@@ -82,12 +88,15 @@ struct TuningService::Impl {
         std::lock_guard<std::mutex> lock(stats_mutex);
         planner_snapshot = planner.stats();
         for (const Pending& p : batch) {
-          latency.record(
+          const double secs =
               std::chrono::duration<double>(now - p.ticket->submitted)
-                  .count());
+                  .count();
+          latency.record(secs);
+          EDB_RECORD("service.latency", secs);
         }
         completed += batch.size();
       }
+      EDB_COUNT("service.completed", batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
         fulfil(batch[i].ticket, std::move(results[i]));
       }
@@ -119,6 +128,8 @@ TuningService::TuningService(ServiceOptions opts)
 TuningService::~TuningService() = default;
 
 Ticket TuningService::submit(TuningQuery q) {
+  EDB_SPAN("service.admit");
+  EDB_COUNT("service.submitted", 1);
   Ticket t;
   t.state_ = std::make_shared<internal::TicketState>();
   t.state_->submitted = std::chrono::steady_clock::now();
@@ -133,6 +144,8 @@ Ticket TuningService::submit(TuningQuery q) {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     EDB_ASSERT(!impl_->stopping, "submit on a stopping service");
     impl_->queue.push_back(Pending{std::move(q), t.state_});
+    EDB_GAUGE_SET("service.queue.depth",
+                  static_cast<std::int64_t>(impl_->queue.size()));
   }
   impl_->wake.notify_one();
   return t;
@@ -157,6 +170,8 @@ Expected<TuningResult> TuningService::query(const TuningQuery& q) {
 
 std::vector<Expected<TuningResult>> TuningService::query_batch(
     const std::vector<TuningQuery>& qs) {
+  EDB_SPAN("service.admit");
+  EDB_COUNT("service.submitted", qs.size());
   std::vector<Ticket> tickets;
   tickets.reserve(qs.size());
   const auto now = std::chrono::steady_clock::now();
@@ -177,6 +192,8 @@ std::vector<Expected<TuningResult>> TuningService::query_batch(
       impl_->queue.push_back(Pending{q, t.state_});
       tickets.push_back(std::move(t));
     }
+    EDB_GAUGE_SET("service.queue.depth",
+                  static_cast<std::int64_t>(impl_->queue.size()));
   }
   impl_->wake.notify_one();
 
@@ -197,7 +214,17 @@ ServiceStats TuningService::stats() const {
   out.latency_samples = impl_->latency.count();
   out.p50_ms = impl_->latency.quantile(0.50) * 1e3;
   out.p95_ms = impl_->latency.quantile(0.95) * 1e3;
+  out.p99_ms = impl_->latency.quantile(0.99) * 1e3;
+  out.p999_ms = impl_->latency.quantile(0.999) * 1e3;
   return out;
+}
+
+std::string TuningService::metrics_text() {
+  return obs::Registry::global().snapshot().text();
+}
+
+std::string TuningService::metrics_json() {
+  return obs::Registry::global().snapshot().json();
 }
 
 }  // namespace edb::service

@@ -15,9 +15,12 @@
 // for free — the batch planner is the same whether one caller sends a
 // vector or ten callers race.
 //
-// Stats() snapshots cache hit/miss/eviction counters, planner grouping
-// counters, in-flight depth and p50/p95 serving latency (submit -> done,
-// util/latency.h).
+// Stats() snapshots cache hit/miss/eviction/negative-hit counters (read
+// off the obs metrics registry — the cache records straight onto it),
+// planner grouping counters, in-flight depth and p50/p95/p99/p99.9
+// serving latency (submit -> done, util/latency.h).  metrics_text() /
+// metrics_json() render the whole process-wide registry — every
+// solver/engine/service/sim metric — for dashboards and bench JSON.
 //
 // Thread-safety: query(), query_batch(), submit(), poll(), wait() and
 // stats() may all be called concurrently from any number of threads; the
@@ -35,6 +38,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
@@ -60,6 +64,8 @@ struct ServiceStats {
   std::size_t latency_samples = 0;
   double p50_ms = 0;  // serving latency percentiles, submit -> done
   double p95_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
 };
 
 namespace internal {
@@ -106,6 +112,12 @@ class TuningService {
 
   ServiceStats stats() const;
   const ServiceOptions& options() const { return opts_; }
+
+  // Process-wide metrics registry snapshot (obs/metrics.h), rendered as
+  // an aligned console table / flat JSON object.  Static: the registry is
+  // shared by every service instance and every instrumented subsystem.
+  static std::string metrics_text();
+  static std::string metrics_json();
 
  private:
   struct Impl;

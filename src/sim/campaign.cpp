@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/obs.h"
 #include "sim/builder.h"
 #include "sim/protocol_factory.h"
 #include "util/fingerprint.h"
@@ -67,6 +68,7 @@ std::uint64_t Campaign::replication_seed(std::uint64_t campaign_seed,
 ReplicationMetrics Campaign::run_replication(const CampaignScenario& scenario,
                                              std::uint64_t rep_seed,
                                              SimArena* arena) {
+  EDB_SPAN("sim.replication");
   auto factory = make_sim_factory(
       scenario.protocol,
       SimProtocolParams{.x = scenario.x,
@@ -108,11 +110,15 @@ ReplicationMetrics Campaign::run_replication(const CampaignScenario& scenario,
   m.frames = sim.channel().frames_sent();
   m.collisions = sim.channel().collisions();
   m.events = sim.scheduler().events_executed();
+  EDB_COUNT("sim.replications", 1);
+  EDB_COUNT("sim.events", m.events);
   return m;
 }
 
 std::vector<CampaignResult> Campaign::run(
     const std::vector<CampaignScenario>& scenarios) {
+  EDB_SPAN("sim.campaign");
+  EDB_COUNT("sim.campaigns", 1);
   EDB_ASSERT(opts_.replications >= 1, "campaign needs >= 1 replication");
   const std::size_t n_reps = static_cast<std::size_t>(opts_.replications);
   const std::size_t n_jobs = scenarios.size() * n_reps;

@@ -8,10 +8,10 @@
 namespace edb {
 
 LatencyHistogram::LatencyHistogram() {
-  // 5 buckets per decade over [1e-6, 1e2] s, i.e. bounds 1e-6 * 10^(i/5).
+  // 10 buckets per decade over [1e-6, 1e2] s, i.e. bounds 1e-6 * 10^(i/10).
   // One underflow bucket below 1 µs and one overflow bucket above 100 s.
   constexpr int kDecades = 8;
-  constexpr int kPerDecade = 5;
+  constexpr int kPerDecade = 10;
   upper_.push_back(1e-6);
   for (int i = 1; i <= kDecades * kPerDecade; ++i) {
     upper_.push_back(1e-6 * std::pow(10.0, static_cast<double>(i) /
@@ -58,6 +58,19 @@ double LatencyHistogram::quantile(double q) const {
     return std::clamp(lo + (hi - lo) * frac, min(), max());
   }
   return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  EDB_ASSERT(upper_.size() == other.upper_.size(),
+             "merge wants identically bucketed histograms");
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
 }
 
 void LatencyHistogram::reset() {

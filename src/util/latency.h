@@ -1,12 +1,15 @@
 // Fixed-footprint latency histogram for service statistics.
 //
-// The tuning service (service/service.h) reports p50/p95 serving latency
-// without retaining per-request samples: buckets are geometric from 1 µs
-// to 100 s (5 per decade) plus an underflow and an overflow bucket, so
-// record() is O(#buckets) worst case and a quantile estimate needs no
-// stored data.  Quantiles interpolate linearly inside the winning bucket
-// and are clamped to the observed min/max — plenty for dashboard-grade
-// p50/p95 numbers.  Not thread-safe; callers hold their own lock.
+// The tuning service (service/service.h) reports p50/p95/p99/p99.9
+// serving latency without retaining per-request samples: buckets are
+// geometric from 1 µs to 100 s (10 per decade, ~26% wide — tight enough
+// that tail quantiles land in a narrow bucket) plus an underflow and an
+// overflow bucket, so record() is O(log #buckets) and a quantile
+// estimate needs no stored data.  Quantiles interpolate linearly inside
+// the winning bucket and are clamped to the observed min/max — plenty
+// for dashboard-grade percentiles.  merge() sums two histograms so
+// per-shard instances (obs::Histogram stripes, per-worker stats) can be
+// aggregated on snapshot.  Not thread-safe; callers hold their own lock.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +32,13 @@ class LatencyHistogram {
 
   // Quantile estimate [s] for q in [0, 1]; 0 when empty.
   double quantile(double q) const;
+
+  // Folds `other`'s samples into this histogram: bucket counts and the
+  // count/sum add, min/max widen.  Exact for everything except the
+  // interpolation detail inside a bucket, i.e. merged quantiles equal the
+  // quantiles of recording every sample into one histogram up to that
+  // interpolation (bucket choice is identical).
+  void merge(const LatencyHistogram& other);
 
   void reset();
 

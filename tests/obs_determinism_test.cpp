@@ -1,0 +1,133 @@
+// The observability layer's core guarantee: instrumentation observes,
+// it never participates.  Running the deterministic pipelines with the
+// tracer recording vs. silent must produce byte-identical fingerprints,
+// bit-identical solver outputs and identical oracle eval counts.  In an
+// EDB_OBS=ON build this exercises the real spans/counters on the solver,
+// engine, service and sim hot paths; in the default build it pins the
+// same contract for the always-compiled registry plumbing (the cache
+// counters) — both builds run the full suite in CI.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+#include "engine/fan.h"
+#include "mac/registry.h"
+#include "obs/trace.h"
+#include "sim/campaign.h"
+
+namespace edb {
+namespace {
+
+// Serialize: the tracer flag is process-global.
+class ObsDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::set_enabled(false);
+    obs::Tracer::clear();
+  }
+  void TearDown() override {
+    obs::Tracer::set_enabled(false);
+    obs::Tracer::clear();
+  }
+};
+
+std::vector<sim::CampaignScenario> small_scenarios() {
+  std::vector<sim::CampaignScenario> out;
+  sim::CampaignScenario xmac;
+  xmac.name = "xmac-small";
+  xmac.protocol = "xmac";
+  xmac.x = {0.3};
+  xmac.ring = net::RingTopology{.depth = 2, .density = 2};
+  xmac.fs = 0.02;
+  xmac.duration = 200;
+  xmac.scenario_seed = 2001;
+  out.push_back(xmac);
+
+  sim::CampaignScenario lossy = xmac;
+  lossy.name = "xmac-lossy";
+  lossy.loss_probability = 0.1;
+  lossy.scenario_seed = 2002;
+  out.push_back(lossy);
+  return out;
+}
+
+std::vector<std::string> campaign_fingerprints() {
+  sim::CampaignOptions opts;
+  opts.replications = 2;
+  opts.seed = 77;
+  opts.threads = 4;
+  opts.parallel = true;
+  sim::Campaign campaign(opts);
+  std::vector<std::string> fps;
+  for (const auto& r : campaign.run(small_scenarios())) {
+    fps.push_back(r.fingerprint());
+  }
+  return fps;
+}
+
+TEST_F(ObsDeterminismTest, CampaignFingerprintsByteIdenticalTracedVsSilent) {
+  const auto silent = campaign_fingerprints();
+  obs::Tracer::set_enabled(true);
+  const auto traced = campaign_fingerprints();
+  obs::Tracer::set_enabled(false);
+  ASSERT_EQ(silent.size(), 2u);
+  EXPECT_EQ(silent, traced);
+  // Paranoia: a traced re-run while events are already buffered.
+  obs::Tracer::set_enabled(true);
+  EXPECT_EQ(campaign_fingerprints(), silent);
+}
+
+struct SweepObservation {
+  std::vector<double> energies;  // bit-compared via ==
+  std::vector<double> xs;
+  std::vector<long long> evals;
+};
+
+SweepObservation observe_sweep() {
+  const auto scenario = core::Scenario::paper_default();
+  auto model = mac::make_model("X-MAC", scenario.context).take();
+  auto sweep = core::run_sweep(*model, scenario.requirements,
+                               core::SweepKind::kLmax, {4.0, 5.0, 6.0});
+  SweepObservation obs;
+  for (const auto& cell : sweep.cells) {
+    if (!cell.feasible()) continue;
+    obs.energies.push_back(cell.outcome->nbs.energy);
+    for (double x : cell.outcome->nbs.x) obs.xs.push_back(x);
+    obs.evals.push_back(cell.outcome->stats.evaluations);
+  }
+  return obs;
+}
+
+TEST_F(ObsDeterminismTest, SolverOutputsAndEvalCountsIdenticalTracedVsSilent) {
+  const auto silent = observe_sweep();
+  ASSERT_FALSE(silent.energies.empty());
+  obs::Tracer::set_enabled(true);
+  const auto traced = observe_sweep();
+  obs::Tracer::set_enabled(false);
+  EXPECT_EQ(silent.energies, traced.energies);  // bit-identical doubles
+  EXPECT_EQ(silent.xs, traced.xs);
+  EXPECT_EQ(silent.evals, traced.evals);  // same oracle call count
+}
+
+std::vector<std::uint64_t> fan_values() {
+  engine::ParallelExecutor executor(4);
+  return engine::fan<std::uint64_t>(executor, 64, [](std::size_t i) {
+    // Job identity -> seed stream; any scheduling dependence would break
+    // the value equality below.
+    return engine::job_seed(0xfeedULL, static_cast<std::uint64_t>(i) + 1);
+  });
+}
+
+TEST_F(ObsDeterminismTest, FanResultsIdenticalTracedVsSilent) {
+  const auto silent = fan_values();
+  obs::Tracer::set_enabled(true);
+  const auto traced = fan_values();
+  obs::Tracer::set_enabled(false);
+  EXPECT_EQ(silent, traced);
+}
+
+}  // namespace
+}  // namespace edb

@@ -1,0 +1,173 @@
+// Metrics registry contract: named instruments are stable singletons,
+// recording is thread-safe, and snapshots render deterministically in
+// registration order.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace edb::obs {
+namespace {
+
+TEST(Counter, AddsAndSums) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsLoseNothing) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Gauge, TracksLevelAndHighWatermark) {
+  Gauge g;
+  g.set(5);
+  g.add(3);
+  EXPECT_EQ(g.value(), 8);
+  EXPECT_EQ(g.max(), 8);
+  g.add(-6);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 8);  // watermark survives the drop
+  g.set(-1);
+  EXPECT_EQ(g.value(), -1);
+  EXPECT_EQ(g.max(), 8);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(Histogram, StripesMergeIntoOneDistribution) {
+  Histogram h;
+  // Record from several threads so multiple stripes fill; the merged
+  // view must still hold every sample.
+  constexpr int kThreads = 6;
+  constexpr int kSamples = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kSamples; ++i) h.record(1e-3);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const LatencyHistogram merged = h.merged();
+  EXPECT_EQ(merged.count(), static_cast<std::size_t>(kThreads) * kSamples);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), 1e-3);
+}
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+  Gauge& g1 = reg.gauge("x.gauge");
+  Gauge& g2 = reg.gauge("x.gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.histogram("x.hist");
+  Histogram& h2 = reg.histogram("x.hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Registry, SnapshotPreservesRegistrationOrder) {
+  Registry reg;
+  reg.counter("z.last");  // registration order, not name order
+  reg.gauge("a.middle");
+  reg.histogram("m.first");
+  reg.counter("z.last");  // re-lookup must not re-register
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "z.last");
+  EXPECT_EQ(snap.entries[1].name, "a.middle");
+  EXPECT_EQ(snap.entries[2].name, "m.first");
+}
+
+TEST(Registry, SnapshotCarriesValues) {
+  Registry reg;
+  reg.counter("c").add(3);
+  reg.gauge("g").set(9);
+  reg.gauge("g").add(-4);
+  for (int i = 0; i < 100; ++i) reg.histogram("h").record(2e-3);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap.entries[0].count, 3u);
+  EXPECT_EQ(snap.entries[1].kind, MetricKind::kGauge);
+  EXPECT_EQ(snap.entries[1].gauge, 5);
+  EXPECT_EQ(snap.entries[1].gauge_max, 9);
+  EXPECT_EQ(snap.entries[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(snap.entries[2].count, 100u);
+  EXPECT_DOUBLE_EQ(snap.entries[2].p50, 2e-3);
+  EXPECT_DOUBLE_EQ(snap.entries[2].p999, 2e-3);
+  EXPECT_DOUBLE_EQ(snap.entries[2].max, 2e-3);
+}
+
+TEST(Registry, SnapshotsOfSameStateAreByteIdentical) {
+  Registry reg;
+  reg.counter("solver.solves").add(12);
+  reg.histogram("service.latency").record(5e-3);
+  const MetricsSnapshot s1 = reg.snapshot();
+  const MetricsSnapshot s2 = reg.snapshot();
+  EXPECT_EQ(s1.text(), s2.text());
+  EXPECT_EQ(s1.json(), s2.json());
+}
+
+TEST(Registry, TextAndJsonRenderEveryMetric) {
+  Registry reg;
+  reg.counter("a.count").add(1);
+  reg.gauge("b.gauge").set(2);
+  reg.histogram("c.hist").record(1e-3);
+  const MetricsSnapshot snap = reg.snapshot();
+  const std::string text = snap.text();
+  const std::string json = snap.json();
+  for (const char* name : {"a.count", "b.gauge", "c.hist"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  // Flat-object shape: one '{', one '}', quoted keys with suffixes.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.gauge\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"c.hist.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"c.hist.p99\": "), std::string::npos);
+  EXPECT_NE(json.find("\"c.hist.p999\": "), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistration) {
+  Registry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(5);
+  reg.histogram("h").record(1.0);
+  reg.reset();
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].count, 0u);
+  EXPECT_EQ(snap.entries[1].gauge, 0);
+  EXPECT_EQ(snap.entries[2].count, 0u);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  Counter& a = Registry::global().counter("obs_metrics_test.global");
+  Counter& b = Registry::global().counter("obs_metrics_test.global");
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace edb::obs

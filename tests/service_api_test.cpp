@@ -7,6 +7,7 @@
 
 #include "core/sweep.h"
 #include "mac/registry.h"
+#include "obs/metrics.h"
 
 namespace edb::service {
 namespace {
@@ -115,6 +116,40 @@ TEST(ServiceApiTest, StatsTrackServing) {
   EXPECT_EQ(stats.latency_samples, 2u);
   EXPECT_GT(stats.p95_ms, 0.0);
   EXPECT_LE(stats.p50_ms, stats.p95_ms);
+  EXPECT_LE(stats.p95_ms, stats.p99_ms);
+  EXPECT_LE(stats.p99_ms, stats.p999_ms);
+}
+
+TEST(ServiceApiTest, CacheStatsEqualRegistryCounterDeltas) {
+  // The cache's hit/miss/eviction/negative-hit counters ARE registry
+  // metrics (service.cache.*): Stats must report exactly the registry
+  // growth observed across this service's lifetime — one set of numbers,
+  // not two bookkeeping systems drifting apart.
+  auto& reg = obs::Registry::global();
+  const auto h0 = reg.counter("service.cache.hits").value();
+  const auto m0 = reg.counter("service.cache.misses").value();
+  const auto e0 = reg.counter("service.cache.evictions").value();
+  const auto n0 = reg.counter("service.cache.negative_hits").value();
+
+  TuningService service(small_opts());
+  service.query(xmac_query());
+  service.query(xmac_query());  // repeat: one hit
+  const auto cache = service.stats().cache;
+
+  EXPECT_EQ(cache.hits, reg.counter("service.cache.hits").value() - h0);
+  EXPECT_EQ(cache.misses, reg.counter("service.cache.misses").value() - m0);
+  EXPECT_EQ(cache.evictions,
+            reg.counter("service.cache.evictions").value() - e0);
+  EXPECT_EQ(cache.negative_hits,
+            reg.counter("service.cache.negative_hits").value() - n0);
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.misses, 1u);
+
+  // And the snapshot export carries the same names.
+  const std::string json = TuningService::metrics_json();
+  EXPECT_NE(json.find("\"service.cache.hits\": "), std::string::npos);
+  const std::string text = TuningService::metrics_text();
+  EXPECT_NE(text.find("service.cache.misses"), std::string::npos);
 }
 
 TEST(ServiceApiTest, DestructorDrainsPendingWork) {

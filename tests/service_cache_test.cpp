@@ -112,6 +112,42 @@ TEST(ShardedCacheTest, ClearEmptiesEveryShard) {
   EXPECT_FALSE(cache.get(key_of("k3")).has_value());
 }
 
+TEST(ShardedCacheTest, NegativeHitsCountInfeasibleServes) {
+  ShardedResultCache cache(8, 2);
+  ProtocolOutcome dead;
+  dead.protocol = "LMAC";
+  dead.infeasible_reason = "infeasible";
+  cache.put(key_of("dead"), dead);
+  cache.put(key_of("alive"), feasible_outcome("X-MAC", 1.0));
+
+  EXPECT_TRUE(cache.get(key_of("dead")).has_value());
+  EXPECT_TRUE(cache.get(key_of("dead")).has_value());
+  EXPECT_TRUE(cache.get(key_of("alive")).has_value());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3u);  // negative hits are hits too
+  EXPECT_EQ(stats.negative_hits, 2u);
+}
+
+TEST(ShardedCacheTest, StatsAreDeltasSinceConstruction) {
+  // The counters live on the process-wide registry; a fresh instance
+  // must start its stats() at zero even though earlier caches (and
+  // earlier tests) already pushed the shared totals up.
+  {
+    ShardedResultCache warmup(8, 2);
+    warmup.put(key_of("w"), feasible_outcome("X-MAC", 1));
+    warmup.get(key_of("w"));
+    warmup.get(key_of("nope"));
+    EXPECT_EQ(warmup.stats().hits, 1u);
+    EXPECT_EQ(warmup.stats().misses, 1u);
+  }
+  ShardedResultCache fresh(8, 2);
+  EXPECT_EQ(fresh.stats().hits, 0u);
+  EXPECT_EQ(fresh.stats().misses, 0u);
+  EXPECT_EQ(fresh.stats().evictions, 0u);
+  EXPECT_EQ(fresh.stats().negative_hits, 0u);
+}
+
 TEST(ShardedCacheTest, ConcurrentHammer) {
   ShardedResultCache cache(64, 8);
   constexpr int kThreads = 4;

@@ -1,0 +1,144 @@
+// LatencyHistogram contract: bucket boundaries, tail quantiles and the
+// cross-shard merge() used by the obs registry snapshot path.
+#include "util/latency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace edb {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(0.999), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleAllQuantilesEqualIt) {
+  LatencyHistogram h;
+  h.record(3.7e-3);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 3.7e-3) << "q=" << q;
+  }
+}
+
+// Buckets cover (upper_[i-1], upper_[i]]: a value exactly on a bound
+// belongs to the bucket it bounds, so two samples on the same bound must
+// land together and their quantile stays clamped to [min, max].
+TEST(LatencyHistogram, ExactBucketBoundaryValues) {
+  // 10 buckets/decade: bounds are 1e-6 * 10^(i/10).  1e-3 is an exact
+  // bound (i = 30).
+  LatencyHistogram h;
+  const double bound = 1e-3;
+  h.record(bound);
+  h.record(bound);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), bound);
+  EXPECT_DOUBLE_EQ(h.max(), bound);
+  // Every quantile interpolates inside one bucket but clamps to the
+  // observed extremes, so it must return the bound exactly.
+  for (double q : {0.01, 0.5, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), bound) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, UnderflowAndOverflowBuckets) {
+  LatencyHistogram h;
+  h.record(1e-9);  // under the 1 µs floor
+  h.record(1e3);   // over the 100 s ceiling
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 1e3);
+  // The overflow bucket has no upper bound; its quantile is the max.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e3);
+  // The underflow sample's quantile interpolates inside [0, 1 µs] and
+  // clamps to the observed range — it cannot exceed the bucket ceiling.
+  EXPECT_GE(h.quantile(0.25), 1e-9);
+  EXPECT_LE(h.quantile(0.25), 1e-6);
+}
+
+TEST(LatencyHistogram, NegativeSamplesClampToZero) {
+  LatencyHistogram h;
+  h.record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+// p99/p99.9 must sit in the tail bucket when 1% / 0.1% of the samples
+// are late — the quantiles the ROADMAP's SLO gates run on.
+TEST(LatencyHistogram, TailQuantilesSeparateSlowSamples) {
+  LatencyHistogram h;
+  for (int i = 0; i < 9990; ++i) h.record(1e-3);
+  for (int i = 0; i < 10; ++i) h.record(2.0);  // the slow 0.1%
+  EXPECT_EQ(h.count(), 10000u);
+  // p50 and p99 sit with the bulk...
+  EXPECT_NEAR(h.quantile(0.50), 1e-3, 1e-3 * 0.3);
+  EXPECT_NEAR(h.quantile(0.99), 1e-3, 1e-3 * 0.3);
+  // ... p99.9's rank (9990) is the last bulk sample, still bulk ...
+  EXPECT_LT(h.quantile(0.999), 2e-3);
+  // ... and anything beyond lands in the slow bucket.
+  EXPECT_GT(h.quantile(0.9995), 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 2.0, 2.0 * 0.3);
+}
+
+TEST(LatencyHistogram, MergeMatchesSingleHistogram) {
+  // Record a spread of samples split across two shards; the merge must
+  // reproduce the one-histogram bucket state exactly (identical counts,
+  // min/max/sum), hence identical quantiles.
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(1e-6 * std::pow(10.0, 6.0 * (i / 999.0)));  // 1µs..1s
+  }
+  LatencyHistogram whole, a, b;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    whole.record(samples[i]);
+    (i % 2 ? a : b).record(samples[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  // Sums accumulate in a different order (a's samples then b's), so only
+  // rounding-level drift is allowed.
+  EXPECT_NEAR(a.total(), whole.total(), 1e-12 * whole.total());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyAndFromEmpty) {
+  LatencyHistogram filled, empty;
+  filled.record(0.5);
+  filled.record(1.5);
+
+  LatencyHistogram target;
+  target.merge(filled);  // empty <- filled
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.min(), 0.5);
+  EXPECT_DOUBLE_EQ(target.max(), 1.5);
+
+  target.merge(empty);  // filled <- empty: unchanged
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.min(), 0.5);
+  EXPECT_DOUBLE_EQ(target.max(), 1.5);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+  h.record(2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+}  // namespace
+}  // namespace edb

@@ -1,0 +1,127 @@
+// trace_report — summarizes a Chrome trace-event JSON capture.
+//
+//   EDB_TRACE_OUT=trace.json ./service_throughput ...   # capture
+//   ./trace_report trace.json                           # summarize
+//
+// Prints one row per span name: event count, total/mean/max duration and
+// the share of the trace's busiest thread it accounts for — a quick
+// console answer to "where did the time go" without opening Perfetto.
+// The parser handles exactly the complete-event ("ph":"X") form that
+// obs::Tracer::chrome_json() emits (one event object per line); it is a
+// reporting convenience, not a general JSON parser.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace {
+
+struct SpanAgg {
+  std::size_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+};
+
+// Extracts `"key": <value>` from a single-event line; returns false when
+// the key is absent.  Values are either quoted strings or bare numbers.
+bool extract(const std::string& line, const std::string& key,
+             std::string* out) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t begin = at + needle.size();
+  if (begin >= line.size()) return false;
+  if (line[begin] == '"') {
+    ++begin;
+    const std::size_t end = line.find('"', begin);
+    if (end == std::string::npos) return false;
+    *out = line.substr(begin, end - begin);
+    return true;
+  }
+  std::size_t end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_report <trace.json>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "trace_report: cannot open " << argv[1] << "\n";
+    return 2;
+  }
+
+  std::map<std::string, SpanAgg> spans;  // ordered: deterministic output
+  std::map<std::string, double> per_tid_busy_us;
+  double t_begin_us = 0, t_end_us = 0;
+  std::size_t events = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string name, ts, dur, tid;
+    if (!extract(line, "name", &name) || !extract(line, "ts", &ts) ||
+        !extract(line, "dur", &dur)) {
+      continue;  // header/footer lines
+    }
+    const double start = std::stod(ts);
+    const double span_us = std::stod(dur);
+    SpanAgg& agg = spans[name];
+    agg.count++;
+    agg.total_us += span_us;
+    agg.max_us = std::max(agg.max_us, span_us);
+    if (extract(line, "tid", &tid)) per_tid_busy_us[tid] += span_us;
+    if (events == 0 || start < t_begin_us) t_begin_us = start;
+    t_end_us = std::max(t_end_us, start + span_us);
+    ++events;
+  }
+  if (events == 0) {
+    std::cerr << "trace_report: no trace events in " << argv[1] << "\n";
+    return 1;
+  }
+
+  const double wall_us = t_end_us - t_begin_us;
+  std::vector<std::pair<std::string, SpanAgg>> rows(spans.begin(),
+                                                    spans.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.total_us > b.second.total_us;
+                   });
+
+  std::cout << argv[1] << ": " << events << " events, "
+            << per_tid_busy_us.size() << " threads, wall "
+            << wall_us / 1e3 << " ms\n\n";
+  edb::Table t({"span", "count", "total [ms]", "mean [us]", "max [us]",
+                "% wall"});
+  char buf[64];
+  for (const auto& [name, agg] : rows) {
+    std::vector<std::string> cells;
+    cells.push_back(name);
+    cells.push_back(std::to_string(agg.count));
+    std::snprintf(buf, sizeof(buf), "%.3f", agg.total_us / 1e3);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  agg.total_us / static_cast<double>(agg.count));
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", agg.max_us);
+    cells.push_back(buf);
+    // Spans nest, so per-name totals can each approach 100% of wall.
+    std::snprintf(buf, sizeof(buf), "%.1f",
+                  wall_us > 0 ? 100.0 * agg.total_us / wall_us : 0.0);
+    cells.push_back(buf);
+    t.row(cells);
+  }
+  t.print(std::cout);
+  return 0;
+}
