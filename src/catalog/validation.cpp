@@ -68,6 +68,20 @@ SimTwin sim_twin(const CatalogScenario& scenario,
   ctx.ring.depth = std::min(ctx.ring.depth, options.max_depth);
   ctx.ring.density = std::min(ctx.ring.density, options.max_density);
   ctx.fs = clamp(ctx.fs, options.min_fs, options.max_fs);
+  // The model sees the same arrival shape the campaign will simulate
+  // (burst factor clamped identically to the campaign cell below) and
+  // the requested fidelity.  Under kV1 these fields are inert, so the
+  // kV1 atlas is byte-identical to the pre-kV2 one; under kV2Queueing
+  // both the operating-point probe and the latency prediction consume
+  // them.
+  ctx.arrivals = scenario.sim.poisson_arrivals
+                     ? net::ArrivalProcess::kPoisson
+                     : (scenario.sim.burst_factor > 1.0
+                            ? net::ArrivalProcess::kBursty
+                            : net::ArrivalProcess::kPeriodic);
+  ctx.burst_factor =
+      std::min(scenario.sim.burst_factor, options.max_burst_factor);
+  ctx.model_version = options.model_version;
 
   const std::size_t nodes = total_twin_nodes(ctx.ring);
   const int lmac_slots = static_cast<int>(nodes) + 8;
@@ -100,13 +114,9 @@ SimTwin sim_twin(const CatalogScenario& scenario,
   c.radio = ctx.radio;
   c.packet = ctx.packet;
   c.fs = ctx.fs;
-  c.arrivals = scenario.sim.poisson_arrivals
-                   ? net::ArrivalProcess::kPoisson
-                   : (scenario.sim.burst_factor > 1.0
-                          ? net::ArrivalProcess::kBursty
-                          : net::ArrivalProcess::kPeriodic);
-  c.burst_factor =
-      std::min(scenario.sim.burst_factor, options.max_burst_factor);
+  c.arrivals = ctx.arrivals;
+  c.burst_factor = ctx.burst_factor;
+  c.jitter_frac = ctx.jitter_frac;
   c.loss_probability = scenario.sim.loss_probability;
   c.duration =
       std::min(options.max_duration, options.target_packets / ctx.fs);

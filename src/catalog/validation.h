@@ -46,6 +46,13 @@ struct ValidationOptions {
   std::size_t per_family_cap = 0;  // 0 = every scenario
   std::uint64_t seed = kDefaultSeed;
 
+  // Analytic fidelity the predictions are computed at.  kV1 reproduces
+  // the pre-queueing atlas byte-for-byte; kV2Queueing evaluates (and
+  // probes operating points with) the M/G/1-corrected models, whose
+  // arrival-shape inputs the twin copies from the scenario's SimProfile —
+  // exactly what the campaign simulates (mac/model.h ModelVersion).
+  mac::ModelVersion model_version = mac::ModelVersion::kV1;
+
   // Sim-scaled twin shape: caps keep a replication in the sub-second
   // range while preserving the deployment physics being validated.
   int max_depth = 3;

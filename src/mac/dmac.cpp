@@ -33,12 +33,20 @@ DmacModel::DmacModel(ModelContext ctx, DmacConfig cfg)
             cfg_.sync_period;
   bc_.tx_d.resize(depth);
   bc_.rx_d.resize(depth);
+  bc_.load.resize(depth);
   for (int d = 1; d <= depth; ++d) {
     bc_.tx_d[d - 1] = traffic.f_out(d) * e_tx_pkt;
     bc_.rx_d[d - 1] = traffic.f_in(d) * p.ack_airtime(r) * r.p_tx;
+    bc_.load[d - 1] = traffic.ring_load(d);
   }
   bc_.f_out1 = traffic.f_out(1);
   bc_.needed = (ctx_.ring.depth + 1) * bc_.mu;
+  bc_.v2 = ctx_.model_version == ModelVersion::kV2Queueing;
+  bc_.qk = 0.5 * ctx_.traffic_model().squared_cv();
+  bc_.burst = ctx_.arrivals == net::ArrivalProcess::kBursty;
+  const double b = ctx_.burst_factor;
+  bc_.bfac = b;
+  bc_.half_t_on = 0.5 * ((b - 1.0) / b * (1.0 / ctx_.fs));
 }
 
 namespace {
@@ -104,6 +112,11 @@ double DmacModel::source_wait(const std::vector<double>& x) const {
   return 0.5 * x[0];
 }
 
+double DmacModel::service_time(const std::vector<double>& x) const {
+  check_params(x);
+  return x[0];
+}
+
 void DmacModel::evaluate_batch(const double* xs, std::size_t n,
                                double* energies, double* latencies,
                                double* margins) const {
@@ -139,6 +152,25 @@ void DmacModel::evaluate_batch(const double* xs, std::size_t n,
     if (latencies) {
       DoubleLanes total = half * t_cycle;  // source_wait: half a cycle
       for (int d = 0; d < depth; ++d) total = total + mu_b;
+      if (c.v2) {
+        // Ring-as-server wait with service quantum T — one contended data
+        // slot per cycle (mac/model.h queueing_delay association order).
+        const DoubleLanes qk_b = DoubleLanes::broadcast(c.qk);
+        const DoubleLanes one = DoubleLanes::broadcast(1.0);
+        const DoubleLanes zero = DoubleLanes::broadcast(0.0);
+        DoubleLanes q = zero;
+        for (int d = 0; d < depth; ++d) {
+          const DoubleLanes rho = DoubleLanes::broadcast(c.load[d]) * t_cycle;
+          q = q + qk_b * rho * t_cycle / (one - rho);
+        }
+        if (c.burst) {
+          const DoubleLanes rho1 = DoubleLanes::broadcast(c.load[0]) * t_cycle;
+          const DoubleLanes w = util::max(
+              zero, one - one / (DoubleLanes::broadcast(c.bfac) * rho1));
+          q = q + w * DoubleLanes::broadcast(c.half_t_on);
+        }
+        total = total + q;
+      }
       total.store(latencies + i);
     }
     if (margins) {
@@ -147,7 +179,14 @@ void DmacModel::evaluate_batch(const double* xs, std::size_t n,
       const DoubleLanes m_capacity = (k_chain - load) / k_chain;
       const DoubleLanes m_schedule =
           (t_cycle - DoubleLanes::broadcast(c.needed)) / t_cycle;
-      util::min(m_capacity, m_schedule).store(margins + i);
+      const DoubleLanes m_v1 = util::min(m_capacity, m_schedule);
+      if (c.v2) {
+        const DoubleLanes cap = DoubleLanes::broadcast(kQueueStabilityCap);
+        const DoubleLanes rho = DoubleLanes::broadcast(c.load[0]) * t_cycle;
+        util::min(m_v1, (cap - rho) / cap).store(margins + i);
+      } else {
+        m_v1.store(margins + i);
+      }
     }
   }
 
@@ -168,13 +207,34 @@ void DmacModel::evaluate_batch(const double* xs, std::size_t n,
     if (latencies) {
       double total = 0.5 * t_cycle;  // source_wait: half a cycle
       for (int d = 0; d < depth; ++d) total += c.mu;
+      if (c.v2) {
+        double q = 0.0;
+        for (int d = 0; d < depth; ++d) {
+          const double rho = c.load[d] * t_cycle;
+          q += c.qk * rho * t_cycle / (1.0 - rho);
+        }
+        if (c.burst) {
+          const double rho1 = c.load[0] * t_cycle;
+          const double w = std::max(0.0, 1.0 - 1.0 / (c.bfac * rho1));
+          q += w * c.half_t_on;
+        }
+        total += q;
+      }
       latencies[i] = total;
     }
     if (margins) {
       const double load = c.f_out1 * t_cycle;
       const double m_capacity = (cfg_.k_chain - load) / cfg_.k_chain;
       const double m_schedule = (t_cycle - c.needed) / t_cycle;
-      margins[i] = std::min(m_capacity, m_schedule);
+      const double m_v1 = std::min(m_capacity, m_schedule);
+      if (c.v2) {
+        const double rho = c.load[0] * t_cycle;
+        const double m_stab =
+            (kQueueStabilityCap - rho) / kQueueStabilityCap;
+        margins[i] = std::min(m_v1, m_stab);
+      } else {
+        margins[i] = m_v1;
+      }
     }
   }
 }
@@ -192,7 +252,11 @@ double DmacModel::feasibility_margin(const std::vector<double>& x) const {
   const double needed = (ctx_.ring.depth + 1) * slot_width();
   const double m_schedule = (t_cycle - needed) / t_cycle;
 
-  return std::min(m_capacity, m_schedule);
+  const double m_v1 = std::min(m_capacity, m_schedule);
+  if (ctx_.model_version == ModelVersion::kV2Queueing) {
+    return std::min(m_v1, stability_margin(x));
+  }
+  return m_v1;
 }
 
 }  // namespace edb::mac

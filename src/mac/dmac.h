@@ -60,6 +60,12 @@ class DmacModel final : public AnalyticMacModel {
                                int d) const override;
   double hop_latency(const std::vector<double>& x, int d) const override;
   double source_wait(const std::vector<double>& x) const override;
+  // kV2Queueing channel hold time: one contended data slot per staggered
+  // cycle per neighbourhood, so a backlogged ring drains one packet per
+  // cycle T.  (The k_chain bonus applies to the unsaturated cascade the
+  // v1 capacity margin guards, not to backlog drain: chained slots need
+  // the packet already waiting at successive depths.)
+  double service_time(const std::vector<double>& x) const override;
   double feasibility_margin(const std::vector<double>& x) const override;
 
   // SoA tight loop over a point block; bit-identical to the scalar entry
@@ -80,6 +86,13 @@ class DmacModel final : public AnalyticMacModel {
     double mu = 0, cs_num = 0, stx = 0, srx = 0;
     double f_out1 = 0, needed = 0;
     std::vector<double> tx_d, rx_d;  // per ring, index d-1
+    // kV2Queueing (mac/model.h queueing_delay): branch flags, 0.5 * Ca^2,
+    // the per-ring aggregate loads, and the burst-backlog constants.  The
+    // ring service quantum is the cycle T itself (one contended slot).
+    bool v2 = false;
+    bool burst = false;
+    double qk = 0, bfac = 0, half_t_on = 0;
+    std::vector<double> load;  // ring_load(d), index d-1
   };
 
   DmacConfig cfg_;

@@ -29,13 +29,23 @@ LmacModel::LmacModel(ModelContext ctx, LmacConfig cfg)
   bc_.srx_num = (cfg_.n_slots - 1) * (r.t_startup + t_cm) * r.p_rx;
   bc_.tx_d.resize(depth);
   bc_.rx_d.resize(depth);
+  bc_.load.resize(depth);
+  bc_.ring_n.resize(depth);
   for (int d = 1; d <= depth; ++d) {
     bc_.tx_d[d - 1] = traffic.f_out(d) * p.data_airtime(r) * r.p_tx;
     bc_.rx_d[d - 1] = traffic.f_in(d) * p.data_airtime(r) * r.p_rx;
+    bc_.load[d - 1] = traffic.ring_load(d);
+    bc_.ring_n[d - 1] = ctx_.ring.nodes_in_ring(d);
   }
   bc_.hop_k = 0.5 * cfg_.n_slots + 1.0;
   bc_.min_slot = min_slot_width();
   bc_.f_out1 = traffic.f_out(1);
+  bc_.v2 = ctx_.model_version == ModelVersion::kV2Queueing;
+  bc_.qk = 0.5 * ctx_.traffic_model().squared_cv();
+  bc_.burst = ctx_.arrivals == net::ArrivalProcess::kBursty;
+  const double b = ctx_.burst_factor;
+  bc_.bfac = b;
+  bc_.half_t_on = 0.5 * ((b - 1.0) / b * (1.0 / ctx_.fs));
 }
 
 namespace {
@@ -95,6 +105,17 @@ double LmacModel::hop_latency(const std::vector<double>& x, int) const {
   return (0.5 * cfg_.n_slots + 1.0) * t_slot;
 }
 
+double LmacModel::service_time(const std::vector<double>& x) const {
+  check_params(x);
+  return frame_length(x);
+}
+
+double LmacModel::ring_service_quantum(const std::vector<double>& x,
+                                       int d) const {
+  check_params(x);
+  return frame_length(x) / ctx_.ring.nodes_in_ring(d);
+}
+
 void LmacModel::evaluate_batch(const double* xs, std::size_t n,
                                double* energies, double* latencies,
                                double* margins) const {
@@ -131,6 +152,27 @@ void LmacModel::evaluate_batch(const double* xs, std::size_t n,
       const DoubleLanes hop = DoubleLanes::broadcast(c.hop_k) * t_slot;
       DoubleLanes total = zero;  // source_wait() is 0 for LMAC
       for (int d = 0; d < depth; ++d) total = total + hop;
+      if (c.v2) {
+        // Ring-as-server wait with the TDMA quantum frame / ring size
+        // (mac/model.h queueing_delay association order).
+        const DoubleLanes frame = n_slots_b * t_slot;
+        const DoubleLanes qk_b = DoubleLanes::broadcast(c.qk);
+        const DoubleLanes one = DoubleLanes::broadcast(1.0);
+        DoubleLanes q = zero;
+        for (int d = 0; d < depth; ++d) {
+          const DoubleLanes s = frame / DoubleLanes::broadcast(c.ring_n[d]);
+          const DoubleLanes rho = DoubleLanes::broadcast(c.load[d]) * s;
+          q = q + qk_b * rho * s / (one - rho);
+        }
+        if (c.burst) {
+          const DoubleLanes s1 = frame / DoubleLanes::broadcast(c.ring_n[0]);
+          const DoubleLanes rho1 = DoubleLanes::broadcast(c.load[0]) * s1;
+          const DoubleLanes w = util::max(
+              zero, one - one / (DoubleLanes::broadcast(c.bfac) * rho1));
+          q = q + w * DoubleLanes::broadcast(c.half_t_on);
+        }
+        total = total + q;
+      }
       total.store(latencies + i);
     }
     if (margins) {
@@ -139,7 +181,16 @@ void LmacModel::evaluate_batch(const double* xs, std::size_t n,
       const DoubleLanes load =
           DoubleLanes::broadcast(c.f_out1) * (n_slots_b * t_slot);
       const DoubleLanes m_capacity = DoubleLanes::broadcast(1.0) - load;
-      util::min(m_fit, m_capacity).store(margins + i);
+      const DoubleLanes m_v1 = util::min(m_fit, m_capacity);
+      if (c.v2) {
+        const DoubleLanes cap = DoubleLanes::broadcast(kQueueStabilityCap);
+        const DoubleLanes s1 =
+            (n_slots_b * t_slot) / DoubleLanes::broadcast(c.ring_n[0]);
+        const DoubleLanes rho = DoubleLanes::broadcast(c.load[0]) * s1;
+        util::min(m_v1, (cap - rho) / cap).store(margins + i);
+      } else {
+        m_v1.store(margins + i);
+      }
     }
   }
 
@@ -162,13 +213,38 @@ void LmacModel::evaluate_batch(const double* xs, std::size_t n,
       const double hop = c.hop_k * t_slot;
       double total = 0.0;  // source_wait() is 0 for LMAC
       for (int d = 0; d < depth; ++d) total += hop;
+      if (c.v2) {
+        const double frame = cfg_.n_slots * t_slot;
+        double q = 0.0;
+        for (int d = 0; d < depth; ++d) {
+          const double s = frame / c.ring_n[d];
+          const double rho = c.load[d] * s;
+          q += c.qk * rho * s / (1.0 - rho);
+        }
+        if (c.burst) {
+          const double s1 = frame / c.ring_n[0];
+          const double rho1 = c.load[0] * s1;
+          const double w = std::max(0.0, 1.0 - 1.0 / (c.bfac * rho1));
+          q += w * c.half_t_on;
+        }
+        total += q;
+      }
       latencies[i] = total;
     }
     if (margins) {
       const double m_fit = (t_slot - c.min_slot) / t_slot;
       const double load = c.f_out1 * (cfg_.n_slots * t_slot);
       const double m_capacity = 1.0 - load;
-      margins[i] = std::min(m_fit, m_capacity);
+      const double m_v1 = std::min(m_fit, m_capacity);
+      if (c.v2) {
+        const double s1 = (cfg_.n_slots * t_slot) / c.ring_n[0];
+        const double rho = c.load[0] * s1;
+        const double m_stab =
+            (kQueueStabilityCap - rho) / kQueueStabilityCap;
+        margins[i] = std::min(m_v1, m_stab);
+      } else {
+        margins[i] = m_v1;
+      }
     }
   }
 }
@@ -184,7 +260,11 @@ double LmacModel::feasibility_margin(const std::vector<double>& x) const {
   const double load = traffic.f_out(1) * frame_length(x);
   const double m_capacity = 1.0 - load;
 
-  return std::min(m_fit, m_capacity);
+  const double m_v1 = std::min(m_fit, m_capacity);
+  if (ctx_.model_version == ModelVersion::kV2Queueing) {
+    return std::min(m_v1, stability_margin(x));
+  }
+  return m_v1;
 }
 
 }  // namespace edb::mac

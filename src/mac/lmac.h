@@ -57,6 +57,14 @@ class LmacModel final : public AnalyticMacModel {
   PowerBreakdown power_at_ring(const std::vector<double>& x,
                                int d) const override;
   double hop_latency(const std::vector<double>& x, int d) const override;
+  // kV2Queueing service time: one owned data slot per frame, so the
+  // forwarding resource is held one frame length per relayed packet.
+  double service_time(const std::vector<double>& x) const override;
+  // TDMA drains a ring in parallel — every member owns a data slot per
+  // frame — so the ring-aggregate service quantum is frame / ring size,
+  // not the single-node frame that service_time() reports.
+  double ring_service_quantum(const std::vector<double>& x,
+                              int d) const override;
   double feasibility_margin(const std::vector<double>& x) const override;
 
   // SoA tight loop over a point block; bit-identical to the scalar entry
@@ -80,6 +88,13 @@ class LmacModel final : public AnalyticMacModel {
     double stx_num = 0, srx_num = 0, hop_k = 0;
     double min_slot = 0, f_out1 = 0;
     std::vector<double> tx_d, rx_d;  // per ring, index d-1
+    // kV2Queueing (mac/model.h queueing_delay): branch flags, 0.5 * Ca^2,
+    // the per-ring aggregate loads and ring sizes (the TDMA quantum is
+    // frame / ring_n), and the burst-backlog constants.
+    bool v2 = false;
+    bool burst = false;
+    double qk = 0, bfac = 0, half_t_on = 0;
+    std::vector<double> load, ring_n;  // per ring, index d-1
   };
 
   LmacConfig cfg_;

@@ -67,6 +67,9 @@ Expected<bool> ModelContext::validate() const {
     return make_error(ErrorCode::kInvalidArgument,
                       "energy epoch must be positive");
   }
+  // The arrival-shape knobs must form a valid per-source process (the
+  // kV2Queueing term takes its interval moments from it).
+  if (auto r = traffic_model().validate(); !r.ok()) return r;
   return true;
 }
 
@@ -76,6 +79,48 @@ AnalyticMacModel::AnalyticMacModel(ModelContext ctx) : ctx_(std::move(ctx)) {
 
 double AnalyticMacModel::source_wait(const std::vector<double>&) const {
   return 0.0;
+}
+
+double AnalyticMacModel::service_time(const std::vector<double>& x) const {
+  return hop_latency(x, 1);
+}
+
+double AnalyticMacModel::ring_service_quantum(const std::vector<double>& x,
+                                              int) const {
+  return service_time(x);
+}
+
+// NOTE: the batch kernels (xmac/dmac/lmac.cpp) replicate this function's
+// association order term by term; any change here must be mirrored there
+// or the hex-float parity tests fail.
+double AnalyticMacModel::queueing_delay(const std::vector<double>& x) const {
+  const double qk = 0.5 * ctx_.traffic_model().squared_cv();
+  const net::RingTraffic traffic = ctx_.traffic();
+  double q = 0.0;
+  for (int d = 1; d <= ctx_.ring.depth; ++d) {
+    const double s = ring_service_quantum(x, d);
+    const double rho = traffic.ring_load(d) * s;
+    q += qk * rho * s / (1.0 - rho);
+  }
+  if (ctx_.arrivals == net::ArrivalProcess::kBursty) {
+    // Transient backlog at the aggregation bottleneck (ring 1): during a
+    // source's on-period the instantaneous inflow is B times the mean,
+    // and whatever exceeds the ring's drain rate piles up.  Zero (via the
+    // max) whenever the burst-period utilization stays below 1.
+    const double b = ctx_.burst_factor;
+    const double rho1 = traffic.ring_load(1) * ring_service_quantum(x, 1);
+    const double w = std::max(0.0, 1.0 - 1.0 / (b * rho1));
+    q += w * (0.5 * ((b - 1.0) / b * (1.0 / ctx_.fs)));
+  }
+  return q;
+}
+
+double AnalyticMacModel::stability_margin(const std::vector<double>& x) const {
+  // ring_load is maximal at ring 1 while the TDMA quantum shrinks outward,
+  // so the ring-1 utilization bounds them all for every paper protocol.
+  const double rho =
+      ctx_.traffic().ring_load(1) * ring_service_quantum(x, 1);
+  return (kQueueStabilityCap - rho) / kQueueStabilityCap;
 }
 
 void AnalyticMacModel::check_params(const std::vector<double>& x) const {
@@ -134,6 +179,12 @@ int AnalyticMacModel::bottleneck_ring(const std::vector<double>& x) const {
 double AnalyticMacModel::latency(const std::vector<double>& x) const {
   double total = source_wait(x);
   for (int d = 1; d <= ctx_.ring.depth; ++d) total += hop_latency(x, d);
+  // kV2Queueing adds the accumulated waiting term as one final addend, so
+  // the kV1 partial sums above stay bit-identical to the pre-kV2 path and
+  // the batch kernels can mirror the association order exactly.
+  if (ctx_.model_version == ModelVersion::kV2Queueing) {
+    total += queueing_delay(x);
+  }
   return total;
 }
 

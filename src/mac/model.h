@@ -23,9 +23,34 @@
 #include "net/packet.h"
 #include "net/radio.h"
 #include "net/ring.h"
+#include "net/traffic.h"
 #include "util/error.h"
 
 namespace edb::mac {
+
+// Analytic model fidelity selector (DESIGN.md §9).
+//
+//   kV1         — the paper's original E/L forms: latency ignores
+//                 queueing entirely.  The default, and bit-frozen: every
+//                 kV1 output (solves, envelopes, batch kernels, cached
+//                 service results) must stay byte-identical across PRs
+//                 (tests/model_version_test.cpp pins pre-kV2 goldens).
+//   kV2Queueing — adds a per-ring M/G/1-style waiting term (the ring's
+//                 shared schedule is the server, the ring-aggregate flow
+//                 the arrival stream) driven by the per-ring traffic
+//                 rates and the arrival process's interval moments
+//                 (net::TrafficModel), plus a burst-backlog term for
+//                 bursty arrivals and a utilization-stability fence:
+//                 operating points whose bottleneck-ring utilization
+//                 exceeds kQueueStabilityCap are infeasible rather than
+//                 producing nonsense latencies.
+enum class ModelVersion { kV1, kV2Queueing };
+
+// Bottleneck-ring utilization rho_1 = ring_load(1) * quantum_1 must stay
+// below this cap under kV2Queueing; beyond it the M/G/1 term diverges and
+// the unsaturated-network assumption behind all three models is void
+// anyway.
+inline constexpr double kQueueStabilityCap = 0.95;
 
 // Average power per MAC activity [W]; the paper's six-term decomposition
 // plus the (tiny) sleep-mode draw.  Multiply by the epoch to get joules.
@@ -88,8 +113,27 @@ struct ModelContext {
   double fs = 6.5e-5;          // per-source sampling rate [packets/s]
   double energy_epoch = 100.0; // accounting horizon for E [s]
 
+  // Arrival-process shape behind the mean rate fs.  kV1 ignores these
+  // (only the mean enters the paper's forms); kV2Queueing consumes the
+  // interval moments through traffic_model().  Defaults mirror
+  // net::TrafficModel's.
+  net::ArrivalProcess arrivals = net::ArrivalProcess::kPeriodic;
+  double jitter_frac = 0.1;    // periodic arrivals only
+  double burst_factor = 1.0;   // peak-to-mean ratio (bursty arrivals)
+
+  ModelVersion model_version = ModelVersion::kV1;
+
   Expected<bool> validate() const;
   net::RingTraffic traffic() const { return net::RingTraffic(ring, fs); }
+  // The per-source generation process: fs plus the arrival-shape knobs.
+  net::TrafficModel traffic_model() const {
+    net::TrafficModel t;
+    t.fs = fs;
+    t.jitter_frac = jitter_frac;
+    t.arrivals = arrivals;
+    t.burst_factor = burst_factor;
+    return t;
+  }
 };
 
 class AnalyticMacModel {
@@ -114,6 +158,38 @@ class AnalyticMacModel {
   // Extra latency paid once at the source before the first hop (e.g. the
   // DMAC wait for the node's staggered transmit slot).  Default: 0.
   virtual double source_wait(const std::vector<double>& x) const;
+
+  // Per-exchange channel hold time [s] — how long one forwarding exchange
+  // occupies the shared medium.  Default: hop_latency(x, 1) (one full hop
+  // exchange, the X-MAC case).  DMAC overrides with the cycle T (one
+  // contended data slot per staggered cycle per neighbourhood) and LMAC
+  // with the frame length (one owned data slot per frame).
+  virtual double service_time(const std::vector<double>& x) const;
+
+  // Seconds of ring-d schedule consumed per queued packet — the
+  // M/G/1 service quantum of the kV2Queueing waiting term, with the RING
+  // as the server.  Default: service_time(x) (contention serialises the
+  // ring's neighbourhood, so one exchange drains at a time).  LMAC
+  // overrides with frame / nodes_in_ring(d): TDMA rings drain one packet
+  // per owned slot, in parallel across the ring's nodes.
+  virtual double ring_service_quantum(const std::vector<double>& x,
+                                      int d) const;
+
+  // The kV2Queueing waiting term, summed over the D rings of the
+  // forwarding path [s] (DESIGN.md §9).  Two scales:
+  //
+  //   cell:   sum_d  0.5 * Ca^2 * rho_d * s_d / (1 - rho_d),
+  //           rho_d = ring_load(d) * s_d,  s_d = ring_service_quantum(d)
+  //   burst:  max(0, 1 - 1 / (B * rho_1)) * T_on / 2   (bursty only),
+  //           T_on = (B - 1)/B * T — the transient backlog while the
+  //           burst-period inflow exceeds the bottleneck ring's drain.
+  //
+  // Kingman/M/G/1 with deterministic service (Cs^2 = 0) and the arrival
+  // process's squared CV.  Pure formula — no clamping: past the stability
+  // cap the value is meaningless, and the stability fence in
+  // feasibility_margin is what keeps solvers out of that region
+  // (BatchFence turns those lanes into +inf).
+  double queueing_delay(const std::vector<double>& x) const;
 
   // Signed feasibility slack: > 0 strictly feasible, <= 0 infeasible.
   // Units are normalised so that -1 is "badly infeasible".
@@ -172,6 +248,13 @@ class AnalyticMacModel {
   // Same box-membership assertion over a packed point block, for the
   // evaluate_batch overrides (mirrors the scalar path's per-call check).
   void check_block(const double* xs, std::size_t n) const;
+
+  // Signed slack of the kV2Queueing stability fence at the bottleneck
+  // ring: (kQueueStabilityCap - rho_1) / kQueueStabilityCap with
+  // rho_1 = ring_load(1) * ring_service_quantum(x, 1).  Derived
+  // feasibility_margin overrides fold it in (min with the protocol's own
+  // v1 margin) when the context selects kV2Queueing.
+  double stability_margin(const std::vector<double>& x) const;
 
   ModelContext ctx_;
 };

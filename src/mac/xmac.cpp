@@ -44,6 +44,14 @@ XmacModel::XmacModel(ModelContext ctx, XmacConfig cfg)
   }
   bc_.fsum = traffic.f_out(1) + traffic.f_in(1);
   bc_.two_sp = 2.0 * bc_.sp;
+  bc_.v2 = ctx_.model_version == ModelVersion::kV2Queueing;
+  bc_.qk = 0.5 * ctx_.traffic_model().squared_cv();
+  bc_.load.resize(depth);
+  for (int d = 1; d <= depth; ++d) bc_.load[d - 1] = traffic.ring_load(d);
+  bc_.burst = ctx_.arrivals == net::ArrivalProcess::kBursty;
+  const double b = ctx_.burst_factor;
+  bc_.bfac = b;
+  bc_.half_t_on = 0.5 * ((b - 1.0) / b * (1.0 / ctx_.fs));
 }
 
 namespace {
@@ -150,6 +158,25 @@ void XmacModel::evaluate_batch(const double* xs, std::size_t n,
                               DoubleLanes::broadcast(c.t_data);
       DoubleLanes total = zero;  // source_wait() is 0 for X-MAC
       for (int d = 0; d < depth; ++d) total = total + hop;
+      if (c.v2) {
+        // Per-ring M/G/1 wait, ring service quantum = the hop exchange
+        // itself (mac/model.h queueing_delay association order), plus the
+        // burst-backlog term at ring 1.
+        const DoubleLanes qk_b = DoubleLanes::broadcast(c.qk);
+        const DoubleLanes one = DoubleLanes::broadcast(1.0);
+        DoubleLanes q = zero;
+        for (int d = 0; d < depth; ++d) {
+          const DoubleLanes rho = DoubleLanes::broadcast(c.load[d]) * hop;
+          q = q + qk_b * rho * hop / (one - rho);
+        }
+        if (c.burst) {
+          const DoubleLanes rho1 = DoubleLanes::broadcast(c.load[0]) * hop;
+          const DoubleLanes w = util::max(
+              zero, one - one / (DoubleLanes::broadcast(c.bfac) * rho1));
+          q = q + w * DoubleLanes::broadcast(c.half_t_on);
+        }
+        total = total + q;
+      }
       total.store(latencies + i);
     }
     if (margins) {
@@ -162,7 +189,17 @@ void XmacModel::evaluate_batch(const double* xs, std::size_t n,
       const DoubleLanes m_util = (max_util - busy) / max_util;
       const DoubleLanes m_strobe =
           (tw - DoubleLanes::broadcast(c.two_sp)) / tw;
-      util::min(m_util, m_strobe).store(margins + i);
+      const DoubleLanes m_v1 = util::min(m_util, m_strobe);
+      if (c.v2) {
+        const DoubleLanes s = half * tw + DoubleLanes::broadcast(c.sp) +
+                              DoubleLanes::broadcast(c.t_ack) +
+                              DoubleLanes::broadcast(c.t_data);
+        const DoubleLanes cap = DoubleLanes::broadcast(kQueueStabilityCap);
+        const DoubleLanes rho = DoubleLanes::broadcast(c.load[0]) * s;
+        util::min(m_v1, (cap - rho) / cap).store(margins + i);
+      } else {
+        m_v1.store(margins + i);
+      }
     }
   }
 
@@ -186,6 +223,19 @@ void XmacModel::evaluate_batch(const double* xs, std::size_t n,
       const double hop = 0.5 * tw + c.sp + c.t_ack + c.t_data;
       double total = 0.0;  // source_wait() is 0 for X-MAC
       for (int d = 0; d < depth; ++d) total += hop;
+      if (c.v2) {
+        double q = 0.0;
+        for (int d = 0; d < depth; ++d) {
+          const double rho = c.load[d] * hop;
+          q += c.qk * rho * hop / (1.0 - rho);
+        }
+        if (c.burst) {
+          const double rho1 = c.load[0] * hop;
+          const double w = std::max(0.0, 1.0 - 1.0 / (c.bfac * rho1));
+          q += w * c.half_t_on;
+        }
+        total += q;
+      }
       latencies[i] = total;
     }
     if (margins) {
@@ -194,7 +244,16 @@ void XmacModel::evaluate_batch(const double* xs, std::size_t n,
       const double m_util =
           (cfg_.max_utilisation - busy) / cfg_.max_utilisation;
       const double m_strobe = (tw - c.two_sp) / tw;
-      margins[i] = std::min(m_util, m_strobe);
+      const double m_v1 = std::min(m_util, m_strobe);
+      if (c.v2) {
+        const double s = 0.5 * tw + c.sp + c.t_ack + c.t_data;
+        const double rho = c.load[0] * s;
+        const double m_stab =
+            (kQueueStabilityCap - rho) / kQueueStabilityCap;
+        margins[i] = std::min(m_v1, m_stab);
+      } else {
+        margins[i] = m_v1;
+      }
     }
   }
 }
@@ -217,7 +276,11 @@ double XmacModel::feasibility_margin(const std::vector<double>& x) const {
   // The strobe train must contain at least two strobes per wake interval.
   const double m_strobe = (tw - 2.0 * strobe_period()) / tw;
 
-  return std::min(m_util, m_strobe);
+  const double m_v1 = std::min(m_util, m_strobe);
+  if (ctx_.model_version == ModelVersion::kV2Queueing) {
+    return std::min(m_v1, stability_margin(x));
+  }
+  return m_v1;
 }
 
 }  // namespace edb::mac

@@ -79,6 +79,14 @@ class XmacModel final : public AnalyticMacModel {
     double cs_num = 0, tx_k = 0, tx_ack = 0, tx_data = 0;
     double fsum = 0, two_sp = 0;
     std::vector<double> f_out, rx_d, ovr_d;  // per ring, index d-1
+    // kV2Queueing (mac/model.h queueing_delay): branch flags, the
+    // arrival-burstiness coefficient 0.5 * Ca^2, the per-ring aggregate
+    // loads, and the burst-backlog constants.  X-MAC's ring service
+    // quantum is the hop latency itself, so no per-ring quantum state.
+    bool v2 = false;
+    bool burst = false;
+    double qk = 0, bfac = 0, half_t_on = 0;
+    std::vector<double> load;  // ring_load(d), index d-1
   };
 
   XmacConfig cfg_;

@@ -60,6 +60,11 @@ double RingTraffic::f_bg(int d) const {
   return std::max(0.0, topo_.density * f_out(d) - f_in(d));
 }
 
+double RingTraffic::ring_load(int d) const {
+  check_ring(d);
+  return topo_.nodes_in_ring(d) * f_out(d);
+}
+
 double RingTraffic::sink_load() const { return topo_.total_nodes() * fs_; }
 
 }  // namespace edb::net

@@ -54,6 +54,12 @@ class RingTraffic {
   double f_in(int d) const;   // packets/s a ring-d node receives (for itself)
   double f_bg(int d) const;   // packets/s transmitted in range, not for us
 
+  // Aggregate packets/s crossing ring d toward the sink:
+  // nodes_in_ring(d) * f_out(d) = fs * (density+1) * (D^2 - (d-1)^2).
+  // ring_load(1) == sink_load().  The arrival rate of the kV2Queueing
+  // ring-as-server waiting term (mac/model.h).
+  double ring_load(int d) const;
+
   // Total packets/s entering the sink (= total_nodes * fs).
   double sink_load() const;
 

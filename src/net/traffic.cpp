@@ -22,6 +22,27 @@ Expected<bool> TrafficModel::validate() const {
   return true;
 }
 
+double TrafficModel::interval_second_moment() const {
+  const double t = period();
+  switch (arrivals) {
+    case ArrivalProcess::kPoisson:
+      // Exponential: E[I^2] = 2 / fs^2.
+      return 2.0 * t * t;
+    case ArrivalProcess::kBursty: {
+      // Same two-point mixture as next_generation_time: short gap T/B
+      // with probability (B-1)/B, long gap T (B^2 - B + 1)/B with
+      // probability 1/B.
+      const double b = burst_factor;
+      return t * t * ((b - 1.0) + (b * b - b + 1.0) * (b * b - b + 1.0)) /
+             (b * b * b);
+    }
+    case ArrivalProcess::kPeriodic:
+      break;
+  }
+  // T + U(-jT, jT): Var = (2jT)^2 / 12 = j^2 T^2 / 3.
+  return t * t * (1.0 + jitter_frac * jitter_frac / 3.0);
+}
+
 double TrafficModel::initial_phase(Rng& rng) const {
   return rng.uniform(0.0, period());
 }

@@ -33,6 +33,34 @@ struct TrafficModel {
 
   double period() const { return 1.0 / fs; }
 
+  // Exact closed-form moments of the inter-generation interval I.  All
+  // three processes share E[I] = period(); the higher moments are what
+  // the kV2Queueing latency term (mac/model.h) consumes:
+  //
+  //   periodic — I = T + U(-jT, jT):        E[I^2] = T^2 (1 + j^2/3)
+  //   poisson  — I ~ Exp(fs):               E[I^2] = 2 T^2
+  //   bursty   — two-point mixture:         E[I^2] =
+  //              T^2 [(B-1) + (B^2-B+1)^2] / B^3  (degenerates to T^2
+  //              at B = 1, the periodic-without-jitter limit)
+  double interval_mean() const { return period(); }
+  double interval_second_moment() const;
+  double interval_variance() const {
+    const double t = period();
+    return interval_second_moment() - t * t;
+  }
+  // Squared coefficient of variation Ca^2 = Var[I] / E[I]^2 — the
+  // Kingman/M/G/1 arrival-burstiness factor.  0 for jitter-free periodic,
+  // 1 for Poisson, and growing ~B for bursty peak-to-mean ratio B.
+  double squared_cv() const {
+    const double t = period();
+    return interval_variance() / (t * t);
+  }
+  // Peak-to-mean generation-rate ratio: burst_factor for bursty arrivals
+  // (the intra-burst rate is B * fs by construction), 1 otherwise.
+  double peak_to_mean() const {
+    return arrivals == ArrivalProcess::kBursty ? burst_factor : 1.0;
+  }
+
   Expected<bool> validate() const;
 
   // Random initial phase in [0, period).

@@ -55,6 +55,15 @@ void append_context(KeyBuilder& b, const mac::ModelContext& ctx) {
       .field("ring.density", ctx.ring.density)
       .field("fs", ctx.fs)
       .field("energy_epoch", ctx.energy_epoch);
+  // Arrival shape and model version are value-affecting under
+  // kV2Queueing; they participate unconditionally so a kV1 and a
+  // kV2Queueing query over the same deployment can never share a cache
+  // entry (tests/model_version_test.cpp pins the no-cross-version-hit
+  // guarantee).
+  b.field("arrivals", static_cast<int>(ctx.arrivals))
+      .field("jitter_frac", ctx.jitter_frac)
+      .field("burst_factor", ctx.burst_factor)
+      .field("model_version", static_cast<int>(ctx.model_version));
 }
 
 void append_scenario(KeyBuilder& b, const core::Scenario& s,

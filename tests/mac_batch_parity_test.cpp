@@ -121,6 +121,57 @@ TEST(MacBatchParity, PaperModelsAdvertiseKernels) {
   }
 }
 
+TEST(MacBatchParity, KV2QueueingKernelsMatchScalar) {
+  // The kV2Queueing lane kernels re-derive the M/G/1 term with the exact
+  // association order of mac/model.h queueing_delay; parity must hold
+  // across every arrival shape the traffic model supports, and the
+  // scalar-tail reference path must agree with the full-lane path.
+  struct Shape {
+    const char* label;
+    net::ArrivalProcess arrivals;
+    double burst_factor;
+    double jitter_frac;
+  };
+  const Shape shapes[] = {
+      {"periodic", net::ArrivalProcess::kPeriodic, 1.0, 0.25},
+      {"poisson", net::ArrivalProcess::kPoisson, 1.0, 0.1},
+      {"bursty", net::ArrivalProcess::kBursty, 6.0, 0.1},
+  };
+  for (const Shape& s : shapes) {
+    mac::ModelContext ctx;
+    ctx.model_version = mac::ModelVersion::kV2Queueing;
+    ctx.arrivals = s.arrivals;
+    ctx.burst_factor = s.burst_factor;
+    ctx.jitter_frac = s.jitter_frac;
+    for (const auto& name : mac::registered_protocols()) {
+      auto model = mac::make_model(name, ctx);
+      ASSERT_TRUE(model.ok()) << name;
+      expect_batch_parity(**model,
+                          std::string(name) + " kV2/" + s.label);
+    }
+  }
+}
+
+TEST(MacBatchParity, KV2CatalogSampleContexts) {
+  // Reconfigured deployments (density/depth/fs sweeps) shift the per-ring
+  // rates the queueing kernels fold over; kernel parity must survive all
+  // of them, not just the paper calibration.
+  const auto scenarios =
+      catalog::Catalog::builtin().expand_all(catalog::kDefaultSeed, 1);
+  ASSERT_FALSE(scenarios.empty());
+  for (const auto& sc : scenarios) {
+    mac::ModelContext ctx = sc.scenario.context;
+    ctx.model_version = mac::ModelVersion::kV2Queueing;
+    ctx.arrivals = net::ArrivalProcess::kBursty;
+    ctx.burst_factor = 4.0;
+    for (const auto& name : mac::paper_protocols()) {
+      auto model = mac::make_model(name, ctx);
+      if (!model.ok()) continue;  // not every protocol fits every context
+      expect_batch_parity(**model, sc.id() + "/" + name + " kV2");
+    }
+  }
+}
+
 TEST(MacBatchParity, CatalogSampleContexts) {
   // One scenario per built-in family: density/depth/traffic/radio
   // variations reconfigure every model (frame lengths, cycle floors, wake

@@ -60,5 +60,86 @@ TEST(TrafficModel, ZeroJitterIsExactlyPeriodic) {
   EXPECT_DOUBLE_EQ(m.next_generation_time(40.0, rng), 60.0);
 }
 
+// --- Interval moment accessors (the kV2Queueing inputs) -----------------
+//
+// Each arrival process gets exact-value checks against the closed forms
+// documented in traffic.h, at a period chosen so the expected values are
+// clean decimals.
+
+TEST(TrafficModel, PeriodicMomentsMatchClosedForm) {
+  TrafficModel m{.fs = 0.1, .jitter_frac = 0.3};
+  // I = T + U(-jT, jT), T = 10: E[I^2] = T^2 (1 + j^2/3) = 100 * 1.03.
+  EXPECT_DOUBLE_EQ(m.interval_mean(), 10.0);
+  EXPECT_DOUBLE_EQ(m.interval_second_moment(), 100.0 * (1.0 + 0.09 / 3.0));
+  EXPECT_NEAR(m.interval_variance(), 100.0 * 0.03, 1e-12);
+  EXPECT_NEAR(m.squared_cv(), 0.03, 1e-15);
+  EXPECT_DOUBLE_EQ(m.peak_to_mean(), 1.0);
+}
+
+TEST(TrafficModel, JitterFreePeriodicHasZeroVariance) {
+  TrafficModel m{.fs = 0.25, .jitter_frac = 0.0};
+  EXPECT_DOUBLE_EQ(m.interval_second_moment(), 16.0);
+  EXPECT_DOUBLE_EQ(m.interval_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.squared_cv(), 0.0);
+}
+
+TEST(TrafficModel, PoissonMomentsMatchClosedForm) {
+  TrafficModel m{.fs = 0.5, .arrivals = ArrivalProcess::kPoisson};
+  // Exponential intervals: E[I^2] = 2 T^2, Ca^2 = 1.
+  EXPECT_DOUBLE_EQ(m.interval_mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.interval_second_moment(), 8.0);
+  EXPECT_DOUBLE_EQ(m.interval_variance(), 4.0);
+  EXPECT_DOUBLE_EQ(m.squared_cv(), 1.0);
+  EXPECT_DOUBLE_EQ(m.peak_to_mean(), 1.0);
+}
+
+TEST(TrafficModel, BurstyMomentsMatchClosedForm) {
+  TrafficModel m{.fs = 1.0, .arrivals = ArrivalProcess::kBursty,
+                 .burst_factor = 4.0};
+  // T = 1, B = 4: E[I^2] = [(B-1) + (B^2-B+1)^2] / B^3
+  //             = (3 + 13^2) / 64 = 172/64 = 2.6875.
+  EXPECT_DOUBLE_EQ(m.interval_mean(), 1.0);
+  EXPECT_DOUBLE_EQ(m.interval_second_moment(), 2.6875);
+  EXPECT_DOUBLE_EQ(m.interval_variance(), 1.6875);
+  EXPECT_DOUBLE_EQ(m.squared_cv(), 1.6875);
+  EXPECT_DOUBLE_EQ(m.peak_to_mean(), 4.0);
+}
+
+TEST(TrafficModel, BurstyMomentsDegenerateAtUnitBurstFactor) {
+  // B = 1 collapses the mixture to the jitter-free periodic process.
+  TrafficModel m{.fs = 0.2, .arrivals = ArrivalProcess::kBursty,
+                 .burst_factor = 1.0};
+  EXPECT_DOUBLE_EQ(m.interval_second_moment(), 25.0);
+  EXPECT_DOUBLE_EQ(m.squared_cv(), 0.0);
+}
+
+TEST(TrafficModel, BurstySecondMomentMatchesEmpiricalMean) {
+  // The closed form must describe what next_generation_time actually
+  // draws: accumulate E[I^2] empirically over the real RNG stream.
+  TrafficModel m{.fs = 0.1, .arrivals = ArrivalProcess::kBursty,
+                 .burst_factor = 8.0};
+  Rng rng(11);
+  double prev = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double next = m.next_generation_time(prev, rng);
+    const double gap = next - prev;
+    sum_sq += gap * gap;
+    prev = next;
+  }
+  EXPECT_NEAR(sum_sq / n, m.interval_second_moment(),
+              0.05 * m.interval_second_moment());
+}
+
+TEST(TrafficModel, SquaredCvGrowsWithBurstFactor) {
+  double last = 0.0;
+  for (double b : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    TrafficModel m{.fs = 0.1, .arrivals = ArrivalProcess::kBursty,
+                   .burst_factor = b};
+    EXPECT_GT(m.squared_cv(), last);
+    last = m.squared_cv();
+  }
+}
+
 }  // namespace
 }  // namespace edb::net

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "mac/registry.h"
@@ -128,13 +129,10 @@ TEST(UtilSimd, NoFusedMultiplyAdd) {
   }
 }
 
-TEST(UtilSimd, PaperKernelsMatchScalarEntryPoints) {
-  // End-to-end: the SIMD-rewritten X-MAC/DMAC/LMAC batch kernels stay
-  // bit-identical to the scalar model calls.  n = 257 exercises full
-  // lane blocks plus a remainder tail for every supported width; the
-  // off-by-one slice exercises unaligned loads.
-  const mac::ModelContext ctx;
+void expect_kernel_scalar_parity(const mac::ModelContext& ctx,
+                                 const std::string& tag) {
   for (const auto& name : mac::paper_protocols()) {
+    SCOPED_TRACE(tag);
     auto model = mac::make_model(name, ctx).take();
     ASSERT_EQ(model->params().dim(), 1u) << name;
     const double lo = model->params().lower()[0];
@@ -164,6 +162,36 @@ TEST(UtilSimd, PaperKernelsMatchScalarEntryPoints) {
       EXPECT_TRUE(bits_eq(l2[i], l[i + 1])) << name << " offset L @ " << i;
       EXPECT_TRUE(bits_eq(m2[i], m[i + 1])) << name << " offset m @ " << i;
     }
+  }
+}
+
+TEST(UtilSimd, PaperKernelsMatchScalarEntryPoints) {
+  // End-to-end: the SIMD-rewritten X-MAC/DMAC/LMAC batch kernels stay
+  // bit-identical to the scalar model calls.  n = 257 exercises full
+  // lane blocks plus a remainder tail for every supported width; the
+  // off-by-one slice exercises unaligned loads.
+  expect_kernel_scalar_parity(mac::ModelContext{}, "kV1");
+}
+
+TEST(UtilSimd, KV2QueueingKernelsMatchScalarEntryPoints) {
+  // Same end-to-end contract with the M/G/1 term and stability fence
+  // live in the lanes, across every arrival shape.
+  struct Shape {
+    const char* label;
+    net::ArrivalProcess arrivals;
+    double burst_factor;
+    double jitter_frac;
+  };
+  for (const Shape& s :
+       {Shape{"periodic", net::ArrivalProcess::kPeriodic, 1.0, 0.3},
+        Shape{"poisson", net::ArrivalProcess::kPoisson, 1.0, 0.1},
+        Shape{"bursty", net::ArrivalProcess::kBursty, 8.0, 0.1}}) {
+    mac::ModelContext ctx;
+    ctx.model_version = mac::ModelVersion::kV2Queueing;
+    ctx.arrivals = s.arrivals;
+    ctx.burst_factor = s.burst_factor;
+    ctx.jitter_frac = s.jitter_frac;
+    expect_kernel_scalar_parity(ctx, std::string("kV2/") + s.label);
   }
 }
 
