@@ -44,9 +44,11 @@ ScenarioEngine::~ScenarioEngine() = default;
 
 Expected<BargainingOutcome> ScenarioEngine::solve_one(
     const mac::AnalyticMacModel& model, const AppRequirements& req,
-    double alpha, const SolveHints& hints) const {
+    double alpha, const SolveHints& hints,
+    const SolveControl& control) const {
   // `model` is already memo-wrapped by the caller when opts_.memoize is on.
   EnergyDelayGame game(model, req);
+  game.set_control(control);
   // solve_weighted(0.5, ...) is exactly solve(...), so the default alpha
   // keeps the historical path.
   return game.solve_weighted(alpha, hints);
@@ -95,9 +97,17 @@ void ScenarioEngine::sweep_chain(const SweepJob& job,
   auto& cells = result.cells;
   const std::size_t n = cells.size();
 
+  // A transiently failed probe (deadline, cancellation) carries no
+  // feasibility verdict, so it must never steer the monotone frontier
+  // logic — mislabelling live cells as envelope-infeasible would persist a
+  // transient condition as a deterministic answer.
+  bool transient = false;
   auto probe = [&](std::size_t j) {
     SolveHints cold;
     solve_cell(*m, job, cells[j], cold);
+    if (!cells[j].feasible() && is_transient(cells[j].infeasible_code)) {
+      transient = true;
+    }
     return cells[j].feasible();
   };
 
@@ -105,9 +115,9 @@ void ScenarioEngine::sweep_chain(const SweepJob& job,
   std::size_t frontier = n;
   if (probe(0)) {
     frontier = 0;
-  } else if (n > 1 && probe(n - 1)) {
+  } else if (!transient && n > 1 && probe(n - 1)) {
     std::size_t lo = 0, hi = n - 1;
-    while (hi - lo > 1) {
+    while (!transient && hi - lo > 1) {
       const std::size_t mid = lo + (hi - lo) / 2;
       if (probe(mid)) {
         hi = mid;
@@ -116,6 +126,21 @@ void ScenarioEngine::sweep_chain(const SweepJob& job,
       }
     }
     frontier = hi;
+  }
+
+  if (transient) {
+    // Frontier unknown: solve every untouched cell independently (cold
+    // hints — no seed chain across cells of unknown feasibility).  Cells
+    // that already failed transiently keep their verdict; re-solving under
+    // the same control would fail identically.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (cells[j].feasible() || !cells[j].infeasible_reason.empty()) {
+        continue;
+      }
+      SolveHints cold;
+      solve_cell(*m, job, cells[j], cold);
+    }
+    return;
   }
 
   // Cells below the frontier are infeasible by monotonicity.  Probed cells
@@ -137,6 +162,7 @@ void ScenarioEngine::sweep_chain(const SweepJob& job,
                              ? p2_infeasible_error(m->name())
                              : p3_infeasible_error(m->name());
     cells[j].infeasible_reason = reason.to_string();
+    cells[j].infeasible_code = reason.code;
   }
 
   // Warm chain from the frontier.  Probed cells at or above the frontier
@@ -162,7 +188,7 @@ void ScenarioEngine::solve_cell(const mac::AnalyticMacModel& model,
   } else {
     req.e_budget = cell.value;
   }
-  auto outcome = solve_one(model, req, job.alpha, hints);
+  auto outcome = solve_one(model, req, job.alpha, hints, job.control);
   if (outcome.ok()) {
     if (opts_.warm_start) {
       hints = SolveHints{outcome->p1.x, outcome->p2.x, outcome->nbs.x,
@@ -174,6 +200,7 @@ void ScenarioEngine::solve_cell(const mac::AnalyticMacModel& model,
     // cell's optimum may sit far from the last agreement.
     hints = {};
     cell.infeasible_reason = outcome.error().to_string();
+    cell.infeasible_code = outcome.error().code;
   }
 }
 
@@ -186,7 +213,7 @@ std::vector<Expected<BargainingOutcome>> ScenarioEngine::solve_batch(
     EDB_ASSERT(jobs[i].model != nullptr, "solve job needs a model");
     MemoScope scope(*jobs[i].model, opts_.memoize);
     out[i] = solve_one(*scope.model, jobs[i].req, jobs[i].alpha,
-                       SolveHints{});
+                       SolveHints{}, jobs[i].control);
   });
   return out;
 }
@@ -203,13 +230,17 @@ SweepPlan plan_point_queries(const std::vector<PointQuery>& queries) {
     const mac::AnalyticMacModel* model;
     std::uint64_t budget_bits;
     std::uint64_t alpha_bits;
+    // Controls must agree for queries to share a chain: a budget-bound
+    // query must not inherit a neighbour's unbounded chain or vice versa.
+    const std::atomic<bool>* cancel;
+    long long eval_budget;
     bool operator==(const GroupKey&) const = default;
   };
   auto key_of = [](const PointQuery& q) {
     std::uint64_t b, a;
     std::memcpy(&b, &q.req.e_budget, sizeof b);
     std::memcpy(&a, &q.alpha, sizeof a);
-    return GroupKey{q.model, b, a};
+    return GroupKey{q.model, b, a, q.control.cancel, q.control.eval_budget};
   };
 
   // First-appearance order keeps the plan deterministic in the input.
@@ -224,7 +255,7 @@ SweepPlan plan_point_queries(const std::vector<PointQuery>& queries) {
       keys.push_back(k);
       plan.jobs.push_back(SweepJob{queries[i].model, queries[i].req,
                                    SweepKind::kLmax, {},
-                                   queries[i].alpha});
+                                   queries[i].alpha, queries[i].control});
     }
     group_of[i] = g;
     plan.jobs[g].values.push_back(queries[i].req.l_max);

@@ -78,6 +78,8 @@ struct SolveJob {
   const mac::AnalyticMacModel* model = nullptr;
   AppRequirements req;
   double alpha = 0.5;
+  // Deadline/cancellation (core/game_framework.h); default = unbounded.
+  SolveControl control = {};
 };
 
 // One requirement sweep (core/sweep.h semantics: positive ascending
@@ -88,6 +90,11 @@ struct SweepJob {
   SweepKind kind = SweepKind::kLmax;
   std::vector<double> values;
   double alpha = 0.5;
+  // Deadline/cancellation applied per cell solve.  When a probe of the
+  // warm chain fails transiently the monotone frontier logic stands down
+  // and every remaining cell is solved independently — a transient
+  // verdict says nothing about feasibility (engine.cpp).
+  SolveControl control = {};
 };
 
 // One protocol-model + requirement-pair question: the unit the service
@@ -96,6 +103,10 @@ struct PointQuery {
   const mac::AnalyticMacModel* model = nullptr;
   AppRequirements req;
   double alpha = 0.5;
+  // Deadline/cancellation (service deadlines arrive here).  Queries only
+  // group into one chain when their controls agree — a budget-bound query
+  // must not inherit a neighbour's unbounded chain, or vice versa.
+  SolveControl control = {};
 };
 
 // Where a point query's answer lives inside a planned batch: cell `cell`
@@ -147,8 +158,8 @@ class ScenarioEngine {
  private:
   Expected<BargainingOutcome> solve_one(const mac::AnalyticMacModel& model,
                                         const AppRequirements& req,
-                                        double alpha,
-                                        const SolveHints& hints) const;
+                                        double alpha, const SolveHints& hints,
+                                        const SolveControl& control) const;
   SweepResult sweep_skeleton(const SweepJob& job) const;
   // Warm-started whole-sweep evaluation (frontier search + seed chain).
   void sweep_chain(const SweepJob& job, SweepResult& result) const;

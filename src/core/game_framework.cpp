@@ -299,10 +299,31 @@ Expected<opt::VectorResult> dual_solve(
     const opt::Objective& raw, const std::vector<opt::Constraint>& slacks,
     const opt::BatchObjective& batch_fence, const opt::Box& box,
     SolverMode mode, const std::vector<double>& seed = {},
-    bool trusted = false) {
+    bool trusted = false, const SolveControl& ctl = {},
+    long long spent_before = 0) {
   EDB_SPAN("solver.dual_solve");
   const bool warm = trusted && seed.size() == box.dim();
-  const bool use_descent = mode == SolverMode::kDescent;
+  const bool coarse = mode == SolverMode::kCoarse;
+  const bool use_descent = mode == SolverMode::kDescent || coarse;
+
+  // Deadline/cancellation checks at stage boundaries (DESIGN.md §10).
+  // `spent_stage` is this dual_solve's oracle spend so far; the pipeline's
+  // earlier subproblems arrive as spent_before, so the budget covers
+  // P1 + P2 + P4 cumulatively.  Eval counts per stage are deterministic,
+  // so a budget breach trips identically on every run and thread count.
+  auto interrupted = [&](long long spent_stage) -> std::optional<Error> {
+    if (ctl.cancel != nullptr &&
+        ctl.cancel->load(std::memory_order_relaxed)) {
+      return make_error(ErrorCode::kCancelled, "solve cancelled");
+    }
+    if (ctl.eval_budget > 0 &&
+        spent_before + spent_stage > ctl.eval_budget) {
+      return make_error(ErrorCode::kDeadlineExceeded,
+                        "solve exceeded its oracle-eval budget");
+    }
+    return std::nullopt;
+  };
+  if (auto stop = interrupted(0)) return *stop;
   // The scalar fence survives for the sequential kGridVerify stage-2
   // descent; every other stage runs on the batched counterpart
   // (bit-identical values, one oracle call per block).
@@ -323,6 +344,22 @@ Expected<opt::VectorResult> dual_solve(
     return opt::grid_refine_min(batch_fence, box, stage1_opts);
   }();
   const bool grid_ok = !grid.x.empty() && std::isfinite(grid.value);
+
+  // kCoarse — the degradation ladder's quick answer: the stage-1 basin is
+  // the whole pipeline.  No budget check on the way out: coarse solves ARE
+  // the deadline fallback, bounded by construction.
+  if (coarse) {
+    if (!grid_ok) {
+      return make_error(ErrorCode::kInfeasible,
+                        "no feasible point satisfies the constraints");
+    }
+    grid.converged = true;
+    EDB_COUNT("solver.solves", 1);
+    EDB_COUNT("solver.oracle.evals", grid.evaluations);
+    EDB_COUNT("solver.oracle.blocks", grid.blocks);
+    return grid;
+  }
+  if (auto stop = interrupted(grid.evaluations)) return *stop;
 
   // The descent stage's shared budget (cold multistart and warm descent):
   // enough iterations to run the basin to far below the polish window,
@@ -409,6 +446,9 @@ Expected<opt::VectorResult> dual_solve(
     return make_error(ErrorCode::kInfeasible,
                       "no feasible point satisfies the constraints");
   }
+  // Infeasibility outranks the deadline: it is the deterministic, cacheable
+  // answer, and the transient kDeadlineExceeded would only hide it.
+  if (auto stop = interrupted(cost.evaluations)) return *stop;
 
   // Stage 3 — deep polish: a self-centring grid zoom in a tight window
   // anchored at the stage-1 incumbent (identical across paths), refined to
@@ -564,8 +604,12 @@ Expected<OperatingPoint> EnergyDelayGame::solve_p1(
   std::vector<opt::Constraint> slacks = make_scalar_slacks(metrics, mslacks);
   BatchFence batch(model_, mslacks, /*raw_uses_e=*/true,
                    /*raw_uses_l=*/false, raw);
-  auto r = dual_solve(obj, slacks, batch.oracle(), box, mode_, seed, trusted);
+  auto r = dual_solve(obj, slacks, batch.oracle(), box, mode_, seed, trusted,
+                      control_, stats ? stats->evaluations : 0);
   if (!r.ok()) {
+    // Transient codes (deadline, cancellation) describe this attempt, not
+    // the problem — they must surface as themselves, never as kInfeasible.
+    if (is_transient(r.error().code)) return r.error();
     return p1_infeasible_error(model_.name());
   }
   if (stats) stats->absorb(stats_of(*r));
@@ -592,8 +636,10 @@ Expected<OperatingPoint> EnergyDelayGame::solve_p2(
   std::vector<opt::Constraint> slacks = make_scalar_slacks(metrics, mslacks);
   BatchFence batch(model_, mslacks, /*raw_uses_e=*/false,
                    /*raw_uses_l=*/true, raw);
-  auto r = dual_solve(obj, slacks, batch.oracle(), box, mode_, seed, trusted);
+  auto r = dual_solve(obj, slacks, batch.oracle(), box, mode_, seed, trusted,
+                      control_, stats ? stats->evaluations : 0);
   if (!r.ok()) {
+    if (is_transient(r.error().code)) return r.error();
     return p2_infeasible_error(model_.name());
   }
   if (stats) stats->absorb(stats_of(*r));
@@ -672,8 +718,11 @@ Expected<BargainingOutcome> EnergyDelayGame::solve_weighted(
 
   const opt::Box box = model_box(model_);
   auto r = dual_solve(obj, slacks, batch.oracle(), box, mode_, hints.nbs,
-                      hints.trusted);
+                      hints.trusted, control_, stats.evaluations);
   if (!r.ok()) {
+    // Deadline/cancellation first: the corner fallback below answers
+    // "degenerate bargaining set", not "we ran out of budget".
+    if (is_transient(r.error().code)) return r.error();
     // Strict-inequality slacks can exclude a corner that sits exactly on
     // the caps; accept a corner that satisfies the (P3) constraints within
     // tolerance.  Otherwise the players genuinely cannot reach any

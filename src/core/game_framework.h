@@ -24,6 +24,7 @@
 // gated against at the agreement points.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "core/scenario.h"
@@ -46,6 +47,11 @@ namespace edb::core {
 enum class SolverMode {
   kDescent,
   kGridVerify,
+  // kCoarse — the degradation ladder's quick answer (DESIGN.md §10):
+  // stage-1 coarse grid only, no descent, no polish.  Roughly the basin
+  // of the true optimum at a few hundred oracle evals; served only with
+  // TuningResult::quality == kCoarse, never cached.
+  kCoarse,
 };
 
 // One solved operating point of the protocol.
@@ -68,6 +74,25 @@ struct SolveStats {
     blocks += o.blocks;
     oracle_ns += o.oracle_ns;
   }
+};
+
+// Cooperative deadline + cancellation for a solve (DESIGN.md §10).
+//
+// The budget is counted in *oracle evaluations*, not wall time: per-stage
+// eval counts are deterministic, so a budget-bound solve trips at the same
+// stage boundary on every run and at every thread count — deadline errors
+// are as reproducible as results.  Checks happen at block-oracle stage
+// boundaries (coarse scan, descent/penalty, polish), which bounds
+// cancellation latency by one solver stage.  A completed pipeline is never
+// retroactively failed: the budget gates *starting* more work, so a solve
+// whose last stage overshoots still returns its answer.
+struct SolveControl {
+  // When non-null and set, solves return kCancelled at the next stage
+  // boundary.  The pointee must outlive every solve it is passed to.
+  const std::atomic<bool>* cancel = nullptr;
+  // Max oracle evaluations for the whole P1+P2+P4 pipeline; 0 = unlimited.
+  // On breach the active dual_solve returns kDeadlineExceeded.
+  long long eval_budget = 0;
 };
 
 // Full outcome of the bargaining pipeline for one protocol + requirements.
@@ -160,6 +185,13 @@ class EnergyDelayGame {
   void set_solver_mode(SolverMode mode) { mode_ = mode; }
   SolverMode solver_mode() const { return mode_; }
 
+  // Deadline/cancellation applied to every subsequent solve.  The eval
+  // budget spans the full solve_weighted pipeline (P1 + P2 + P4
+  // cumulatively), so stats.evaluations of a completed solve relates
+  // directly to the budget that would have admitted it.
+  void set_control(const SolveControl& control) { control_ = control; }
+  const SolveControl& control() const { return control_; }
+
  private:
   OperatingPoint make_point(std::vector<double> x) const;
   // `stats`, when non-null, accumulates the dual_solve's oracle cost.
@@ -173,6 +205,7 @@ class EnergyDelayGame {
   const mac::AnalyticMacModel& model_;
   AppRequirements req_;
   SolverMode mode_ = SolverMode::kDescent;
+  SolveControl control_;
 };
 
 }  // namespace edb::core

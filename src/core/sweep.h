@@ -26,6 +26,12 @@ struct SweepCell {
   // Engaged when the game admits an agreement at this requirement.
   std::optional<BargainingOutcome> outcome;
   std::string infeasible_reason;  // set when !outcome
+  // Machine-readable counterpart of infeasible_reason.  The split that
+  // matters downstream is is_transient(): deterministic codes (kInfeasible)
+  // are properties of the cell and may be negatively cached; transient
+  // codes (kDeadlineExceeded, kCancelled, kUnavailable) describe one
+  // attempt and must not be (service/planner.cpp, DESIGN.md §10).
+  ErrorCode infeasible_code = ErrorCode::kInfeasible;
 
   bool feasible() const { return outcome.has_value(); }
 };

@@ -3,9 +3,12 @@
 // Keys are canonical QueryKeys (service/key.h); the 64-bit hash picks one
 // of N shards, each shard is an independent LRU list + hash map under its
 // own mutex, so concurrent readers on different shards never contend.
-// Infeasible outcomes are cached too ("negative caching"): proving
-// infeasibility costs a full solve, and a scenario that cannot be served
-// stays that way until the inputs change.
+// Deterministically infeasible outcomes are cached too ("negative
+// caching"): proving infeasibility costs a full solve, and a scenario
+// that cannot be served stays that way until the inputs change.  The
+// planner only installs outcomes whose infeasible_code is deterministic
+// (!is_transient) — one flaky or deadline-bound solve must not poison
+// the key (DESIGN.md §10).
 //
 // Value preservation is by construction: the cache stores exactly what the
 // engine computed, keyed so that only canonically identical queries can
@@ -52,6 +55,11 @@ struct ProtocolOutcome {
   std::string protocol;  // registered display name
   std::optional<core::BargainingOutcome> outcome;
   std::string infeasible_reason;  // set when !outcome
+  // Machine-readable counterpart of infeasible_reason.  Gates negative
+  // caching: only deterministic codes (!is_transient) may be installed —
+  // a transient failure cached as "infeasible" would poison the key until
+  // eviction (service/planner.cpp, DESIGN.md §10).
+  ErrorCode infeasible_code = ErrorCode::kInfeasible;
 
   bool feasible() const { return outcome.has_value(); }
 };

@@ -50,6 +50,12 @@ namespace edb::service {
 // symmetric solve.
 struct QueryOptions {
   double alpha = 0.5;
+  // Per-query oracle-eval budget (core::SolveControl semantics); 0 =
+  // unlimited.  Deliberately NOT part of the canonical key: the budget
+  // shapes how hard a miss may work, not which question is being asked —
+  // a budget-bound query may be served from an unbudgeted query's cached
+  // answer (and the golden key pins must not move).
+  long long eval_budget = 0;
 };
 
 struct QueryKey {

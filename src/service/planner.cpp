@@ -1,14 +1,24 @@
 #include "service/planner.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <utility>
 
 #include "mac/registry.h"
 #include "obs/obs.h"
+#include "util/fault.h"
 
 namespace edb::service {
 namespace {
+
+// Attempts at the "service.dispatch" injection site before a query is
+// failed with kUnavailable (same bound as engine.job's retry ladder).
+constexpr std::uint32_t kDispatchAttempts = 4;
+
+ResultQuality worse(ResultQuality a, ResultQuality b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
 
 // One distinct cache miss: a (scenario, protocol, options) question plus
 // every (query, protocol-slot) pair waiting for its answer.
@@ -80,12 +90,55 @@ std::vector<Expected<TuningResult>> BatchPlanner::run(
         continue;
       }
       partial[qi].key = query_key(q.scenario, *protocols, q.options);
+      // "service.dispatch" injection site: request processing itself,
+      // keyed on the whole-query canonical hash (a stable identity, so
+      // the same query faults identically at any thread count or arrival
+      // order).  Bounded deterministic retries absorb short blips; on
+      // exhaustion the query fails with kUnavailable.
+      if (fault::active()) {
+        bool lost = false;
+        for (std::uint32_t attempt = 0;; ++attempt) {
+          const fault::Action a = fault::inject("service.dispatch",
+                                                partial[qi].key.hash, attempt);
+          if (a.kind == fault::Kind::kStall) {
+            fault::apply_stall(a);
+            break;
+          }
+          if (a.kind == fault::Kind::kNone) break;
+          if (attempt + 1 >= kDispatchAttempts) {
+            lost = true;
+            break;
+          }
+        }
+        if (lost) {
+          out[qi] = make_error(ErrorCode::kUnavailable,
+                               "injected fault at service.dispatch");
+          count_service_error(ErrorCode::kUnavailable);
+          failed[qi] = true;
+          continue;
+        }
+      }
       partial[qi].per_protocol.resize(protocols->size());
       for (std::size_t pi = 0; pi < protocols->size(); ++pi) {
         const std::string& name = (*protocols)[pi];
         const QueryKey key = protocol_key(q.scenario, name, q.options);
         ++stats_.protocol_queries;
-        if (auto cached = cache_.get(key)) {
+        // "cache.lookup" injection site: a fired fault suppresses this
+        // attempt's lookup (the entry may exist, but the attempt cannot
+        // see it), so the slot falls through to the miss path — where the
+        // degradation ladder's stale re-read may still recover it.
+        auto cached = [&]() -> std::optional<ProtocolOutcome> {
+          if (fault::active()) {
+            const fault::Action a = fault::inject("cache.lookup", key.hash);
+            if (a.kind == fault::Kind::kStall) {
+              fault::apply_stall(a);
+            } else if (a.fires()) {
+              return std::nullopt;
+            }
+          }
+          return cache_.get(key);
+        }();
+        if (cached) {
           ++stats_.cache_hits;
           partial[qi].per_protocol[pi] = std::move(*cached);
           continue;
@@ -120,9 +173,10 @@ std::vector<Expected<TuningResult>> BatchPlanner::run(
             mac::make_model(m.protocol, m.query->scenario.context).take());
         it = model_index.emplace(model_key, models.size() - 1).first;
       }
-      points.push_back(core::PointQuery{models[it->second].get(),
-                                        m.query->scenario.requirements,
-                                        m.query->options.alpha});
+      points.push_back(core::PointQuery{
+          models[it->second].get(), m.query->scenario.requirements,
+          m.query->options.alpha,
+          core::SolveControl{cancel_, m.query->options.eval_budget}});
     }
 
     core::SweepPlan plan = core::plan_point_queries(points);
@@ -133,16 +187,88 @@ std::vector<Expected<TuningResult>> BatchPlanner::run(
     stats_.sweep_jobs += plan.jobs.size();
     for (const auto& r : results) stats_.solved += r.cells.size();
 
-    // Stage 4: install and scatter.
+    // Stage 4: install and scatter, through the resilience machinery
+    // (DESIGN.md §10).  Per distinct miss:
+    //
+    //   1. "planner.solve" injection (keyed on the slot's canonical key
+    //      hash): a fired fault discards this attempt's answer.
+    //   2. Transient failures (injected, kDeadlineExceeded, kCancelled)
+    //      walk the degradation ladder when enabled — stale cache
+    //      re-read first (no injection: the degraded path IS the
+    //      recovery), then a coarse-grid quick answer — or fail the
+    //      waiting queries with their own code when disabled.
+    //   3. Only full-quality outcomes with deterministic codes install
+    //      into the cache: no transient negative entries, no degraded
+    //      answers (both describe this attempt, not the question).
     EDB_SPAN("service.plan.install");
     for (std::size_t mi = 0; mi < misses.size(); ++mi) {
       const core::SweepSlot slot = plan.slots[mi];
       const core::SweepCell& cell = results[slot.job].cells[slot.cell];
       ProtocolOutcome po{misses[mi].protocol, cell.outcome,
-                         cell.infeasible_reason};
-      cache_.put(misses[mi].key, po);
+                         cell.infeasible_reason, cell.infeasible_code};
+
+      if (fault::active()) {
+        const fault::Action a =
+            fault::inject("planner.solve", misses[mi].key.hash);
+        if (a.kind == fault::Kind::kStall) {
+          fault::apply_stall(a);
+        } else if (a.fires()) {
+          po = ProtocolOutcome{misses[mi].protocol, std::nullopt,
+                               "injected fault at planner.solve",
+                               ErrorCode::kUnavailable};
+        }
+      }
+
+      ResultQuality quality = ResultQuality::kFull;
+      if (!po.feasible() && is_transient(po.infeasible_code)) {
+        ++stats_.transient_failures;
+        count_service_error(po.infeasible_code);
+        if (degrade_) {
+          if (auto stale = cache_.get(misses[mi].key)) {
+            po = std::move(*stale);
+            quality = ResultQuality::kStale;
+            ++stats_.degraded_stale;
+          } else {
+            const core::PointQuery& pq = points[mi];
+            core::EnergyDelayGame game(*pq.model, pq.req);
+            game.set_solver_mode(core::SolverMode::kCoarse);
+            // Cancellation still binds (shutdown must win) but no eval
+            // budget: the coarse pipeline is bounded by construction —
+            // it IS the deadline fallback.
+            game.set_control(core::SolveControl{cancel_, 0});
+            auto coarse = game.solve_weighted(pq.alpha);
+            if (coarse.ok()) {
+              po = ProtocolOutcome{misses[mi].protocol,
+                                   std::move(coarse).take(), "",
+                                   ErrorCode::kInfeasible};
+            } else {
+              po = ProtocolOutcome{misses[mi].protocol, std::nullopt,
+                                   coarse.error().to_string(),
+                                   coarse.error().code};
+            }
+            quality = ResultQuality::kCoarse;
+            ++stats_.degraded_coarse;
+          }
+          count_degraded(quality);
+        } else {
+          // Degradation off: the transient failure fails every waiting
+          // query with its own code (first failing slot wins).
+          for (const auto& [qi, pi] : misses[mi].sinks) {
+            if (failed[qi]) continue;
+            out[qi] = make_error(po.infeasible_code, po.infeasible_reason);
+            failed[qi] = true;
+          }
+          continue;
+        }
+      }
+
+      if (quality == ResultQuality::kFull &&
+          (po.feasible() || !is_transient(po.infeasible_code))) {
+        cache_.put(misses[mi].key, po);
+      }
       for (const auto& [qi, pi] : misses[mi].sinks) {
         partial[qi].per_protocol[pi] = po;
+        partial[qi].quality = worse(partial[qi].quality, quality);
       }
     }
   }

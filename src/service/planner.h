@@ -27,6 +27,7 @@
 // engine and cache must outlive the planner.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "core/engine.h"
 #include "service/cache.h"
 #include "service/key.h"
+#include "service/resilience.h"
 
 namespace edb::service {
 
@@ -52,6 +54,11 @@ struct TuningResult {
   // agreement with the largest energy headroom (Ebudget - E*), the
   // ranking of examples/protocol_selection.  -1 when nothing is feasible.
   int recommended = -1;
+  // Worst degradation rung across the slots that fed this result
+  // (service/resilience.h): kFull is the bit-identical-to-cold contract;
+  // kStale/kCoarse mark answers served down the degradation ladder after
+  // a transient miss-path failure or deadline blow-out.
+  ResultQuality quality = ResultQuality::kFull;
 };
 
 struct PlannerStats {
@@ -62,6 +69,10 @@ struct PlannerStats {
   std::size_t coalesced = 0;   // within-batch duplicate lookups
   std::size_t solved = 0;      // cells actually solved by the engine
   std::size_t sweep_jobs = 0;  // warm chains those cells were grouped into
+  // Resilience counters (DESIGN.md §10).
+  std::size_t transient_failures = 0;  // miss-path slots that failed transiently
+  std::size_t degraded_stale = 0;      // slots served by a stale re-read
+  std::size_t degraded_coarse = 0;     // slots served by a coarse solve
 };
 
 class BatchPlanner {
@@ -78,10 +89,20 @@ class BatchPlanner {
 
   const PlannerStats& stats() const { return stats_; }
 
+  // Cooperative cancellation token threaded into every miss-path solve
+  // (core::SolveControl); the pointee must outlive the planner.  Set once
+  // at service construction, before any batch runs.
+  void set_cancel(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+  // Degradation ladder on/off (ResilienceOptions::degrade).  When off,
+  // transient miss-path failures fail the whole query with their own code.
+  void set_degrade(bool degrade) { degrade_ = degrade; }
+
  private:
   core::ScenarioEngine& engine_;
   ShardedResultCache& cache_;
   PlannerStats stats_;
+  const std::atomic<bool>* cancel_ = nullptr;
+  bool degrade_ = true;
 };
 
 }  // namespace edb::service

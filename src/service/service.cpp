@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -8,9 +9,11 @@
 #include <optional>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "util/fault.h"
 
 namespace edb::service {
 
@@ -49,17 +52,52 @@ struct TuningService::Impl {
       : cache(opts.cache_capacity, opts.cache_shards),
         engine(opts.engine),
         planner(engine, cache),
-        max_batch(std::max<std::size_t>(1, opts.max_batch)) {
+        max_batch(std::max<std::size_t>(1, opts.max_batch)),
+        resilience(opts.resilience),
+        bucket(opts.resilience.rate_limit_qps, opts.resilience.rate_burst) {
+    // EDB_FAULT_PLAN takes effect for any process that serves queries:
+    // chaos runs configure injection by environment alone (util/fault.h).
+    // No-op when the variable is unset.
+    fault::install_from_env();
+    planner.set_cancel(&cancel);
+    planner.set_degrade(resilience.degrade);
     dispatcher = std::thread([this] { loop(); });
   }
 
-  ~Impl() {
+  ~Impl() { shutdown(/*drain=*/true); }
+
+  void shutdown(bool drain) {
+    // One shutdown at a time: concurrent callers serialize here, and the
+    // second one finds the dispatcher already joined.
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex);
+    std::vector<Pending> dropped;
     {
       std::lock_guard<std::mutex> lock(mutex);
+      accepting = false;
       stopping = true;
+      if (!drain) {
+        // Cooperative cancellation: queued queries are failed below, the
+        // in-flight batch sees the flag at its next solver stage boundary.
+        cancel.store(true, std::memory_order_relaxed);
+        dropped.reserve(queue.size());
+        while (!queue.empty()) {
+          dropped.push_back(std::move(queue.front()));
+          queue.pop_front();
+        }
+        EDB_GAUGE_SET("service.queue.depth", 0);
+      }
     }
     wake.notify_all();
-    dispatcher.join();
+    for (Pending& p : dropped) {
+      count_service_error(ErrorCode::kCancelled);
+      fulfil(p.ticket, make_error(ErrorCode::kCancelled,
+                                  "service shut down before dispatch"));
+    }
+    if (!dropped.empty()) {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      completed += dropped.size();
+    }
+    if (dispatcher.joinable()) dispatcher.join();
   }
 
   void loop() {
@@ -103,21 +141,69 @@ struct TuningService::Impl {
     }
   }
 
+  // Admission decision for one submission; returns the rejection error,
+  // or nullopt when the query was enqueued.  Shed decisions depend on
+  // wall-clock load by design (resilience.h): the queue bound and token
+  // bucket are backpressure, not part of the deterministic contract.
+  std::optional<Error> admit(Pending pending) {
+    if (!bucket.try_acquire()) {
+      return make_error(ErrorCode::kResourceExhausted,
+                        "admission rate limit exceeded");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!accepting) {
+        return make_error(ErrorCode::kUnavailable, "service shut down");
+      }
+      if (resilience.max_queue > 0 &&
+          queue.size() >= resilience.max_queue) {
+        return make_error(ErrorCode::kResourceExhausted,
+                          "submit queue full");
+      }
+      queue.push_back(std::move(pending));
+      EDB_GAUGE_SET("service.queue.depth",
+                    static_cast<std::int64_t>(queue.size()));
+    }
+    wake.notify_one();
+    return std::nullopt;
+  }
+
+  // Fails a ticket at the front door (shed / shut down): completes it
+  // immediately and keeps submitted/completed accounting balanced.
+  void reject(const TicketPtr& ticket, Error error) {
+    const bool shed_error = error.code == ErrorCode::kResourceExhausted;
+    count_service_error(error.code);
+    if (shed_error) count_shed();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++completed;
+      if (shed_error) ++shed;
+    }
+    fulfil(ticket, std::move(error));
+  }
+
   ShardedResultCache cache;
   core::ScenarioEngine engine;
   BatchPlanner planner;
   const std::size_t max_batch;
+  const ResilienceOptions resilience;
+  TokenBucket bucket;
+  std::atomic<bool> cancel{false};
 
   std::mutex mutex;
   std::condition_variable wake;
   std::deque<Pending> queue;
   bool stopping = false;
+  bool accepting = true;
+
+  std::mutex shutdown_mutex;
 
   mutable std::mutex stats_mutex;
   PlannerStats planner_snapshot;
   LatencyHistogram latency;
   std::size_t submitted = 0;
   std::size_t completed = 0;
+  std::size_t shed = 0;
 
   std::thread dispatcher;
 };
@@ -126,6 +212,8 @@ TuningService::TuningService(ServiceOptions opts)
     : opts_(opts), impl_(std::make_unique<Impl>(opts)) {}
 
 TuningService::~TuningService() = default;
+
+void TuningService::shutdown(bool drain) { impl_->shutdown(drain); }
 
 Ticket TuningService::submit(TuningQuery q) {
   EDB_SPAN("service.admit");
@@ -140,14 +228,9 @@ Ticket TuningService::submit(TuningQuery q) {
     std::lock_guard<std::mutex> lock(impl_->stats_mutex);
     ++impl_->submitted;
   }
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    EDB_ASSERT(!impl_->stopping, "submit on a stopping service");
-    impl_->queue.push_back(Pending{std::move(q), t.state_});
-    EDB_GAUGE_SET("service.queue.depth",
-                  static_cast<std::int64_t>(impl_->queue.size()));
+  if (auto rejected = impl_->admit(Pending{std::move(q), t.state_})) {
+    impl_->reject(t.state_, std::move(*rejected));
   }
-  impl_->wake.notify_one();
   return t;
 }
 
@@ -180,22 +263,41 @@ std::vector<Expected<TuningResult>> TuningService::query_batch(
     std::lock_guard<std::mutex> lock(impl_->stats_mutex);
     impl_->submitted += qs.size();
   }
+  std::vector<std::pair<TicketPtr, Error>> rejected;
   {
     // One lock for the whole vector: the dispatcher wakes to the full
-    // batch, so the planner dedups and groups across it.
+    // batch, so the planner dedups and groups across it.  Admission is
+    // still per query — queries past the bound shed individually, the
+    // rest stay one batch.
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    EDB_ASSERT(!impl_->stopping, "query_batch on a stopping service");
     for (const TuningQuery& q : qs) {
       Ticket t;
       t.state_ = std::make_shared<internal::TicketState>();
       t.state_->submitted = now;
-      impl_->queue.push_back(Pending{q, t.state_});
+      if (!impl_->accepting) {
+        rejected.emplace_back(t.state_, make_error(ErrorCode::kUnavailable,
+                                                   "service shut down"));
+      } else if (!impl_->bucket.try_acquire()) {
+        rejected.emplace_back(
+            t.state_, make_error(ErrorCode::kResourceExhausted,
+                                 "admission rate limit exceeded"));
+      } else if (impl_->resilience.max_queue > 0 &&
+                 impl_->queue.size() >= impl_->resilience.max_queue) {
+        rejected.emplace_back(t.state_,
+                              make_error(ErrorCode::kResourceExhausted,
+                                         "submit queue full"));
+      } else {
+        impl_->queue.push_back(Pending{q, t.state_});
+      }
       tickets.push_back(std::move(t));
     }
     EDB_GAUGE_SET("service.queue.depth",
                   static_cast<std::int64_t>(impl_->queue.size()));
   }
   impl_->wake.notify_one();
+  for (auto& [state, error] : rejected) {
+    impl_->reject(state, std::move(error));
+  }
 
   std::vector<Expected<TuningResult>> out;
   out.reserve(tickets.size());
@@ -211,6 +313,7 @@ ServiceStats TuningService::stats() const {
   out.submitted = impl_->submitted;
   out.completed = impl_->completed;
   out.in_flight = impl_->submitted - impl_->completed;
+  out.shed = impl_->shed;
   out.latency_samples = impl_->latency.count();
   out.p50_ms = impl_->latency.quantile(0.50) * 1e3;
   out.p95_ms = impl_->latency.quantile(0.95) * 1e3;

@@ -22,13 +22,24 @@
 // metrics_json() render the whole process-wide registry — every
 // solver/engine/service/sim metric — for dashboards and bench JSON.
 //
-// Thread-safety: query(), query_batch(), submit(), poll(), wait() and
-// stats() may all be called concurrently from any number of threads; the
-// dispatcher serializes planner/engine access internally.  Tickets are
-// copyable across threads; wait() may be called repeatedly on any copy.
-// The only exclusions are construction and destruction: the destructor
-// must not race a submitter (it drains already-enqueued queries, then
-// exits).
+// Admission control (service/resilience.h): when ResilienceOptions bound
+// the queue or rate-limit admissions, submissions the service cannot
+// absorb come back as immediately-failed kResourceExhausted tickets —
+// shedding at the front door instead of queueing without bound.  On the
+// miss path, transient failures and deadline blow-outs are served down
+// the degradation ladder (stale, then coarse; TuningResult::quality says
+// which) unless degradation is disabled.
+//
+// Thread-safety: query(), query_batch(), submit(), poll(), wait(),
+// shutdown() and stats() may all be called concurrently from any number
+// of threads; the dispatcher serializes planner/engine access
+// internally.  Tickets are copyable across threads; wait() may be called
+// repeatedly on any copy.  After shutdown() new submissions come back as
+// immediately-failed kUnavailable tickets.  The only exclusions are
+// construction and destruction: the destructor must not race a submitter
+// (it drains already-enqueued queries, then exits) — a server that
+// cannot guarantee that calls shutdown() first, after which racing
+// submitters get failed tickets instead of undefined behaviour.
 //
 // Determinism: serving is value-preserving — every result is
 // bit-identical to a cold sequential core::run_sweep over the same
@@ -53,6 +64,10 @@ struct ServiceOptions {
   std::size_t cache_capacity = 4096;  // protocol outcomes; 0 = no caching
   std::size_t cache_shards = 16;
   std::size_t max_batch = 64;  // queries per planner invocation
+  // Admission control + degradation ladder (service/resilience.h);
+  // defaults keep the historical behaviour (unbounded queue, no limiter,
+  // degradation on — which is invisible until something fails).
+  ResilienceOptions resilience;
 };
 
 struct ServiceStats {
@@ -61,6 +76,7 @@ struct ServiceStats {
   std::size_t submitted = 0;
   std::size_t completed = 0;
   std::size_t in_flight = 0;
+  std::size_t shed = 0;  // admissions rejected (queue bound / rate limit)
   std::size_t latency_samples = 0;
   double p50_ms = 0;  // serving latency percentiles, submit -> done
   double p95_ms = 0;
@@ -87,9 +103,21 @@ class Ticket {
 class TuningService {
  public:
   explicit TuningService(ServiceOptions opts = {});
-  // Drains the queue: already-submitted queries finish, then the
-  // dispatcher exits.
+  // Equivalent to shutdown(/*drain=*/true) when not already shut down:
+  // already-submitted queries finish, then the dispatcher exits.
   ~TuningService();
+
+  // Stops accepting new work.  drain=true: every already-enqueued query
+  // finishes normally before the dispatcher exits.  drain=false: queued
+  // queries are failed with kCancelled, the in-flight batch is cancelled
+  // cooperatively (its solves return kCancelled at the next stage
+  // boundary), then the dispatcher exits.  Idempotent; safe to call
+  // while submitters are still active — their submissions after the stop
+  // come back as immediately-failed kUnavailable tickets instead of
+  // aborting (the destructor-vs-submitter exclusion still applies to
+  // destruction itself, as for any object).  Blocks until the
+  // dispatcher has exited.
+  void shutdown(bool drain);
 
   TuningService(const TuningService&) = delete;
   TuningService& operator=(const TuningService&) = delete;

@@ -32,9 +32,38 @@ enum class ErrorCode {
   kOutOfRange,
   kNotFound,
   kInternal,
+  // Resilience taxonomy (DESIGN.md §10): the codes the serving pipeline's
+  // deadline, admission-control and fault-injection machinery speaks.
+  kDeadlineExceeded,    // solve exceeded its deterministic eval budget
+  kUnavailable,         // transient failure (injected or real); retryable
+  kResourceExhausted,   // admission control shed the request
+  kCancelled,           // cooperative cancellation (shutdown, caller)
 };
 
 const char* error_code_name(ErrorCode code);
+
+// Transient codes describe the *serving attempt*, not the question: a
+// retry (or a quieter moment) may succeed, so they must never be
+// negatively cached or otherwise persisted as properties of the inputs.
+// Deterministic codes (kInfeasible, kInvalidArgument, ...) are properties
+// of the inputs and stay true until the inputs change.
+constexpr bool is_transient(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNotConverged:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kResourceExhausted:
+    case ErrorCode::kCancelled:
+      return true;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kInfeasible:
+    case ErrorCode::kOutOfRange:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kInternal:
+      return false;
+  }
+  return false;
+}
 
 struct Error {
   ErrorCode code = ErrorCode::kInternal;
@@ -53,6 +82,10 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kOutOfRange: return "out_of_range";
     case ErrorCode::kNotFound: return "not_found";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kCancelled: return "cancelled";
   }
   return "unknown";
 }

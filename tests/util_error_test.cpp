@@ -60,12 +60,46 @@ TEST(ErrorCodes, AllNamesDistinct) {
                              ErrorCode::kNotConverged,
                              ErrorCode::kOutOfRange,
                              ErrorCode::kNotFound,
-                             ErrorCode::kInternal};
+                             ErrorCode::kInternal,
+                             ErrorCode::kDeadlineExceeded,
+                             ErrorCode::kUnavailable,
+                             ErrorCode::kResourceExhausted,
+                             ErrorCode::kCancelled};
   for (std::size_t i = 0; i < std::size(codes); ++i) {
     for (std::size_t j = i + 1; j < std::size(codes); ++j) {
       EXPECT_STRNE(error_code_name(codes[i]), error_code_name(codes[j]));
     }
   }
+}
+
+TEST(ErrorCodes, ResilienceCodeNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(error_code_name(ErrorCode::kResourceExhausted),
+               "resource_exhausted");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCancelled), "cancelled");
+}
+
+TEST(ErrorCodes, TransientVsDeterministic) {
+  // Transient codes describe the serving attempt (retryable, never
+  // negatively cached); deterministic codes are properties of the inputs.
+  EXPECT_TRUE(is_transient(ErrorCode::kNotConverged));
+  EXPECT_TRUE(is_transient(ErrorCode::kDeadlineExceeded));
+  EXPECT_TRUE(is_transient(ErrorCode::kUnavailable));
+  EXPECT_TRUE(is_transient(ErrorCode::kResourceExhausted));
+  EXPECT_TRUE(is_transient(ErrorCode::kCancelled));
+
+  EXPECT_FALSE(is_transient(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(is_transient(ErrorCode::kInfeasible));
+  EXPECT_FALSE(is_transient(ErrorCode::kOutOfRange));
+  EXPECT_FALSE(is_transient(ErrorCode::kNotFound));
+  EXPECT_FALSE(is_transient(ErrorCode::kInternal));
+
+  // The taxonomy is compile-time decidable (negative caching guards use
+  // it in constant expressions).
+  static_assert(is_transient(ErrorCode::kUnavailable));
+  static_assert(!is_transient(ErrorCode::kInfeasible));
 }
 
 TEST(Expected, AccessingWrongStateDies) {
