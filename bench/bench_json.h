@@ -34,6 +34,22 @@ class BenchJson {
     fields_.emplace_back(name, quoted);
   }
 
+  // Appends one client-side latency histogram (util/latency.h) under
+  // `name`.* — the loadgen merges per-connection histograms with
+  // LatencyHistogram::merge() and exports the aggregate here, mirroring
+  // the registry histogram field layout.  Values are seconds in, but
+  // exported in milliseconds (the unit every bench baseline speaks).
+  void histogram(const char* name, const LatencyHistogram& h) {
+    const std::string base = name;
+    integer((base + ".count").c_str(), static_cast<long long>(h.count()));
+    number((base + ".mean_ms").c_str(), h.mean() * 1e3);
+    number((base + ".p50_ms").c_str(), h.quantile(0.50) * 1e3);
+    number((base + ".p95_ms").c_str(), h.quantile(0.95) * 1e3);
+    number((base + ".p99_ms").c_str(), h.quantile(0.99) * 1e3);
+    number((base + ".p999_ms").c_str(), h.quantile(0.999) * 1e3);
+    number((base + ".max_ms").c_str(), h.max() * 1e3);
+  }
+
   // Appends every metric of a registry snapshot under an "obs." prefix —
   // counters as integers, gauges as level plus ".max", histograms as
   // ".count"/".mean"/quantiles/".max" — so BENCH_*.json carries the run's

@@ -48,6 +48,7 @@
 #include "service/service.h"
 #include "util/fault.h"
 #include "util/rng.h"
+#include "workload.h"
 
 namespace {
 
@@ -241,35 +242,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Same mix construction as service_throughput: Zipf(1.2) over
-  // paper_default() with l_max spread across [2, 6] s plus sub-quantum
-  // float noise, so the fault plan sees realistic key popularity.
-  std::vector<core::Scenario> pool;
-  for (int k = 0; k < distinct; ++k) {
-    core::Scenario s = core::Scenario::paper_default();
-    s.requirements.l_max =
-        distinct == 1 ? 6.0 : 2.0 + 4.0 * k / (distinct - 1);
-    pool.push_back(s);
-  }
-  std::vector<double> cdf(pool.size());
-  double z = 0;
-  for (std::size_t k = 0; k < pool.size(); ++k) {
-    z += 1.0 / std::pow(static_cast<double>(k + 1), 1.2);
-    cdf[k] = z;
-  }
-  Rng rng(20260808);
-  std::vector<service::TuningQuery> mix;
-  mix.reserve(static_cast<std::size_t>(n_queries));
-  for (int i = 0; i < n_queries; ++i) {
-    const double u = rng.uniform() * z;
-    const std::size_t k = static_cast<std::size_t>(
-        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-    service::TuningQuery q;
-    q.scenario = pool[std::min(k, pool.size() - 1)];
-    q.scenario.requirements.l_max *= 1.0 + 1e-13 * rng.uniform(-1.0, 1.0);
-    q.protocols = protocols;
-    mix.push_back(std::move(q));
-  }
+  // Same mix shape as service_throughput (bench/workload.h), under this
+  // bench's own pinned seed, so the fault plan sees realistic key
+  // popularity and the historical mix bytes stay put.
+  const std::vector<core::Scenario> pool = bench::scenario_pool(distinct);
+  const std::vector<service::TuningQuery> mix =
+      bench::zipf_mix(pool, n_queries, 20260808, protocols);
 
   bench::BenchJson json;
   json.integer("queries", n_queries);

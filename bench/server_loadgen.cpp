@@ -1,0 +1,401 @@
+// Socket-tier acceptance bench: closed-loop load over localhost with an
+// SLO gate and a fatal byte-identity gate (DESIGN.md §11).
+//
+// Two stages against an in-process TuningServer:
+//
+//   identity — at 1 and 4 worker loops, several concurrent connections
+//              each pipeline the same noise-free query sequence; every
+//              connection's raw RESULT byte stream must be IDENTICAL to
+//              encoding the answers of a transport-free ServiceCore over
+//              the same sequence.  The wire tier must add transport, not
+//              arithmetic: any divergence (worker count, connection
+//              interleaving, framing) fails the bench.  (The sequence is
+//              noise-free so the cache-representative race between
+//              connections cannot pick different twin bits.)
+//
+//   load     — the shared Zipf mix (bench/workload.h, ~0.99 hit rate
+//              once warm) served closed-loop through a sweep of
+//              (connections x pipeline-window) phases up to saturation.
+//              Each connection records send->response latency into its
+//              own LatencyHistogram; phases report merged p50/p99/p99.9
+//              and queries/sec.
+//
+// With a baseline file (bench/baselines/BENCH_server.baseline.json), the
+// best phase must clear `min_qps` at a merged p99 under `max_p99_ms`,
+// and every response must be an answer (availability 1.0 — the bench
+// server runs without admission limits).  Results land in
+// BENCH_server.json, including the server-side obs.* block
+// (service.queue.depth high watermark, server.request.latency) and the
+// merged client histogram.
+//
+//   $ ./server_loadgen [queries] [distinct] [workers] [baseline.json]
+//
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "service/core.h"
+#include "util/latency.h"
+#include "workload.h"
+
+namespace {
+
+using namespace edb;
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+bool json_number(const std::string& text, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+server::ServerOptions server_options(int workers) {
+  server::ServerOptions opts;
+  opts.workers = workers;
+  opts.engine.threads = 2;
+  opts.engine.parallel = true;
+  return opts;
+}
+
+// ------------------------------------------------------------ identity --
+
+// One connection's run of the identity sequence: pipelines every query,
+// concatenates the raw RESULT/ERROR frames in response order.
+std::string identity_stream(std::uint16_t port,
+                            const std::vector<service::TuningQuery>& seq) {
+  server::WireClient client;
+  auto ok = client.connect("127.0.0.1", port);
+  if (!ok.ok()) {
+    std::fprintf(stderr, "identity connect failed: %s\n",
+                 ok.error().to_string().c_str());
+    return {};
+  }
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    client.queue_query(seq[i], i);
+  }
+  if (auto sent = client.flush(); !sent.ok()) return {};
+  std::string stream;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    auto resp = client.next_response();
+    if (!resp.ok()) {
+      std::fprintf(stderr, "identity read failed: %s\n",
+                   resp.error().to_string().c_str());
+      return {};
+    }
+    stream += resp->raw;
+  }
+  return stream;
+}
+
+// Runs the gate at one worker count: `conns` concurrent connections all
+// serving `seq`, every stream compared against `reference`.
+int identity_gate(int workers, int conns,
+                  const std::vector<service::TuningQuery>& seq,
+                  const std::string& reference) {
+  server::TuningServer srv(server_options(workers));
+  auto started = srv.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.error().to_string().c_str());
+    return conns;  // every stream counts as failed
+  }
+  std::vector<std::string> streams(static_cast<std::size_t>(conns));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(streams.size());
+    for (std::size_t c = 0; c < streams.size(); ++c) {
+      threads.emplace_back([&, c] {
+        streams[c] = identity_stream(srv.port(), seq);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  srv.shutdown(/*drain=*/true);
+  int mismatches = 0;
+  for (std::size_t c = 0; c < streams.size(); ++c) {
+    if (streams[c] != reference) {
+      std::fprintf(stderr,
+                   "IDENTITY MISMATCH: workers=%d conn=%zu (%zu vs %zu "
+                   "reference bytes)\n",
+                   workers, c, streams[c].size(), reference.size());
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+// ---------------------------------------------------------------- load --
+
+struct PhaseResult {
+  int conns = 0;
+  int window = 0;
+  double qps = 0;
+  std::size_t errors = 0;
+  LatencyHistogram latency;  // merged across connections
+};
+
+// Closed loop on one connection: keep `window` queries in flight, send
+// the next one as each response lands.
+void run_connection(std::uint16_t port,
+                    const std::vector<service::TuningQuery>& mix,
+                    std::size_t first, std::size_t step, int window,
+                    LatencyHistogram* hist, std::size_t* errors) {
+  server::WireClient client;
+  if (!client.connect("127.0.0.1", port).ok()) {
+    ++*errors;
+    return;
+  }
+  std::vector<std::size_t> assigned;
+  for (std::size_t i = first; i < mix.size(); i += step) assigned.push_back(i);
+  std::deque<double> sent_at;
+  std::size_t next = 0;
+  const auto send_one = [&] {
+    client.queue_query(mix[assigned[next]], assigned[next]);
+    sent_at.push_back(now_ms());
+    ++next;
+    return client.flush().ok();
+  };
+  const std::size_t burst =
+      std::min<std::size_t>(assigned.size(),
+                            static_cast<std::size_t>(std::max(1, window)));
+  for (std::size_t i = 0; i < burst; ++i) {
+    if (!send_one()) {
+      *errors += assigned.size();
+      return;
+    }
+  }
+  for (std::size_t done = 0; done < assigned.size(); ++done) {
+    auto resp = client.next_response();
+    if (!resp.ok()) {
+      *errors += assigned.size() - done;
+      return;
+    }
+    hist->record((now_ms() - sent_at.front()) * 1e-3);
+    sent_at.pop_front();
+    if (resp->error.has_value()) ++*errors;
+    if (next < assigned.size() && !send_one()) {
+      *errors += assigned.size() - done - 1;
+      return;
+    }
+  }
+}
+
+PhaseResult run_phase(std::uint16_t port,
+                      const std::vector<service::TuningQuery>& mix,
+                      int conns, int window) {
+  PhaseResult out;
+  out.conns = conns;
+  out.window = window;
+  std::vector<LatencyHistogram> hists(static_cast<std::size_t>(conns));
+  std::vector<std::size_t> errors(static_cast<std::size_t>(conns), 0);
+  const double t0 = now_ms();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(conns));
+    for (int c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        run_connection(port, mix, static_cast<std::size_t>(c),
+                       static_cast<std::size_t>(conns), window,
+                       &hists[static_cast<std::size_t>(c)],
+                       &errors[static_cast<std::size_t>(c)]);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_ms = now_ms() - t0;
+  out.qps = 1e3 * static_cast<double>(mix.size()) / wall_ms;
+  for (int c = 0; c < conns; ++c) {
+    out.latency.merge(hists[static_cast<std::size_t>(c)]);
+    out.errors += errors[static_cast<std::size_t>(c)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_queries = std::max(1, argc > 1 ? std::atoi(argv[1]) : 10000);
+  const int distinct = std::max(1, argc > 2 ? std::atoi(argv[2]) : 32);
+  const int workers = std::max(1, argc > 3 ? std::atoi(argv[3]) : 2);
+  const char* baseline_path = argc > 4 ? argv[4] : nullptr;
+  const std::vector<std::string> protocols = {"X-MAC", "DMAC"};
+
+  std::printf("== server_loadgen: %d queries/phase, %d distinct, "
+              "%d workers ==\n",
+              n_queries, distinct, workers);
+
+  const std::vector<core::Scenario> pool = bench::scenario_pool(distinct);
+  // Load mix: this bench's own pinned seed, usual sub-quantum noise.
+  const std::vector<service::TuningQuery> mix =
+      bench::zipf_mix(pool, n_queries, 20260801, protocols);
+
+  // --- identity gate -----------------------------------------------------
+  // Noise-free sequence: all copies of one rank are bit-identical, so
+  // the first-arrival cache-representative race between racing
+  // connections cannot produce different (equally correct) twin bits.
+  const int identity_n = std::min(n_queries, 256);
+  const std::vector<service::TuningQuery> identity_seq = bench::zipf_mix(
+      pool, identity_n, 20260801, protocols, 1.2, /*noise=*/0.0);
+
+  std::string reference;
+  {
+    service::CoreOptions core_opts;
+    core_opts.engine.threads = 2;
+    core_opts.engine.parallel = true;
+    service::ServiceCore core(core_opts);
+    const auto results = core.serve(identity_seq);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      reference += server::encode_response(results[i], i);
+    }
+  }
+  int identity_mismatches = 0;
+  const double ti = now_ms();
+  identity_mismatches += identity_gate(1, 2, identity_seq, reference);
+  identity_mismatches += identity_gate(4, 4, identity_seq, reference);
+  std::printf("identity: %d mismatched streams (workers 1 and 4, %.0f ms, "
+              "%zu reference bytes)\n",
+              identity_mismatches, now_ms() - ti, reference.size());
+
+  // --- load sweep --------------------------------------------------------
+  server::TuningServer srv(server_options(workers));
+  auto started = srv.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.error().to_string().c_str());
+    return 1;
+  }
+
+  // Deterministic warm in pool order, so every phase runs at the mix's
+  // steady-state ~0.99 hit rate instead of paying first-phase misses.
+  {
+    server::WireClient warm;
+    if (!warm.connect("127.0.0.1", srv.port()).ok()) {
+      std::fprintf(stderr, "warm connect failed\n");
+      return 1;
+    }
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+      service::TuningQuery q;
+      q.scenario = pool[k];
+      q.protocols = protocols;
+      auto r = warm.query(q, k);
+      if (!r.ok()) {
+        std::fprintf(stderr, "warm query failed: %s\n",
+                     r.error().to_string().c_str());
+        return 1;
+      }
+    }
+  }
+
+  const std::vector<std::pair<int, int>> phases = {
+      {1, 1}, {1, 4}, {2, 8}, {4, 8}, {4, 16}, {8, 16}};
+  std::vector<PhaseResult> results;
+  std::size_t total_errors = 0;
+  for (const auto& [conns, window] : phases) {
+    PhaseResult r = run_phase(srv.port(), mix, conns, window);
+    std::printf("phase %dx%-2d : %8.0f q/s  p50 %6.3f ms  p99 %6.3f ms  "
+                "p99.9 %6.3f ms  errors %zu\n",
+                r.conns, r.window, r.qps, r.latency.quantile(0.5) * 1e3,
+                r.latency.quantile(0.99) * 1e3,
+                r.latency.quantile(0.999) * 1e3, r.errors);
+    total_errors += r.errors;
+    results.push_back(std::move(r));
+  }
+  srv.shutdown(/*drain=*/true);
+
+  // Peak = best throughput among phases meeting the latency SLO; fall
+  // back to raw best so the report is never empty.
+  double max_p99_ms = 2.0;
+  double min_qps = 0;
+  std::string baseline_text;
+  if (baseline_path) {
+    std::ifstream in(baseline_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    baseline_text = ss.str();
+    json_number(baseline_text, "max_p99_ms", &max_p99_ms);
+    json_number(baseline_text, "min_qps", &min_qps);
+  }
+  const PhaseResult* peak = nullptr;
+  for (const PhaseResult& r : results) {
+    if (r.latency.quantile(0.99) * 1e3 > max_p99_ms) continue;
+    if (!peak || r.qps > peak->qps) peak = &r;
+  }
+  if (!peak) {
+    for (const PhaseResult& r : results) {
+      if (!peak || r.qps > peak->qps) peak = &r;
+    }
+  }
+  const double peak_p99_ms = peak->latency.quantile(0.99) * 1e3;
+  std::printf("peak    : %.0f q/s at %dx%d (p99 %.3f ms)\n", peak->qps,
+              peak->conns, peak->window, peak_p99_ms);
+
+  // --- gates -------------------------------------------------------------
+  int failures = 0;
+  if (identity_mismatches != 0) {
+    std::printf("GATE FAILED: wire streams diverge from in-process "
+                "answers\n");
+    ++failures;
+  }
+  if (total_errors != 0) {
+    std::printf("GATE FAILED: %zu error responses (availability < 1)\n",
+                total_errors);
+    ++failures;
+  }
+  if (!baseline_text.empty()) {
+    if (min_qps > 0 && (peak->qps < min_qps || peak_p99_ms > max_p99_ms)) {
+      std::printf("GATE FAILED: peak %.0f q/s (p99 %.3f ms) vs baseline "
+                  "min_qps %.0f at max_p99_ms %.2f\n",
+                  peak->qps, peak_p99_ms, min_qps, max_p99_ms);
+      ++failures;
+    } else {
+      std::printf("baseline gate: ok (min_qps %.0f, max_p99_ms %.2f)\n",
+                  min_qps, max_p99_ms);
+    }
+  }
+
+  bench::BenchJson json;
+  json.integer("queries_per_phase", n_queries);
+  json.integer("distinct_scenarios", distinct);
+  json.integer("workers", workers);
+  json.integer("identity_mismatches", identity_mismatches);
+  json.integer("identity_bytes",
+               static_cast<long long>(reference.size()));
+  json.integer("error_responses", static_cast<long long>(total_errors));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PhaseResult& r = results[i];
+    const std::string base = "phase" + std::to_string(i);
+    json.integer((base + ".conns").c_str(), r.conns);
+    json.integer((base + ".window").c_str(), r.window);
+    json.number((base + ".qps").c_str(), r.qps);
+    json.histogram((base + ".latency").c_str(), r.latency);
+  }
+  json.number("peak_qps", peak->qps);
+  json.number("peak_p99_ms", peak_p99_ms);
+  json.integer("peak_conns", peak->conns);
+  json.integer("peak_window", peak->window);
+  json.registry(obs::Registry::global().snapshot());
+  json.write_file("BENCH_server.json");
+
+  return failures == 0 ? 0 : 1;
+}

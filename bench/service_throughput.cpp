@@ -34,7 +34,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/service.h"
-#include "util/rng.h"
+#include "workload.h"
 
 namespace {
 
@@ -61,39 +61,12 @@ int main(int argc, char** argv) {
               "%zu protocols, %d threads ==\n",
               n_queries, distinct, protocols.size(), threads);
 
-  // The scenario pool: paper_default() with the delay bound spread over
-  // [2, 6] s — queries differ only in requirements, which is exactly what
-  // the planner groups into warm chains.
-  std::vector<core::Scenario> pool;
-  for (int k = 0; k < distinct; ++k) {
-    core::Scenario s = core::Scenario::paper_default();
-    s.requirements.l_max =
-        distinct == 1 ? 6.0 : 2.0 + 4.0 * k / (distinct - 1);
-    pool.push_back(s);
-  }
-
-  // Zipf(s = 1.2) rank-frequency over the pool, plus per-draw relative
-  // float noise at 1e-13 — far below the key layer's 10-significant-digit
-  // quantization, so noisy twins must collide in the cache.
-  std::vector<double> cdf(pool.size());
-  double z = 0;
-  for (std::size_t k = 0; k < pool.size(); ++k) {
-    z += 1.0 / std::pow(static_cast<double>(k + 1), 1.2);
-    cdf[k] = z;
-  }
-  Rng rng(20260727);
-  std::vector<service::TuningQuery> mix;
-  mix.reserve(n_queries);
-  for (int i = 0; i < n_queries; ++i) {
-    const double u = rng.uniform() * z;
-    const std::size_t k = static_cast<std::size_t>(
-        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-    service::TuningQuery q;
-    q.scenario = pool[std::min(k, pool.size() - 1)];
-    q.scenario.requirements.l_max *= 1.0 + 1e-13 * rng.uniform(-1.0, 1.0);
-    q.protocols = protocols;
-    mix.push_back(std::move(q));
-  }
+  // Shared workload (bench/workload.h): warm-chainable scenario pool,
+  // Zipf(1.2) popularity, sub-quantum float noise.  The seed pins this
+  // bench's historical byte-identical mix.
+  const std::vector<core::Scenario> pool = bench::scenario_pool(distinct);
+  const std::vector<service::TuningQuery> mix =
+      bench::zipf_mix(pool, n_queries, 20260727, protocols);
 
   // EDB_TRACE_OUT=<path>: capture the serving run for Perfetto (real
   // spans only with EDB_OBS=ON; empty-but-valid trace otherwise).

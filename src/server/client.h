@@ -1,0 +1,73 @@
+// Blocking wire-protocol client for the socket serving tier.
+//
+// The counterpart the loadgen, the socket tests and embedders use to
+// talk to a TuningServer: connect() performs the HELLO/HELLO_OK
+// handshake, queue_query()/flush() pipeline any number of QUERY frames
+// in one write, and next_response() blocks for the next RESULT/ERROR
+// frame in order.  Responses carry their raw frame bytes so callers can
+// run the byte-identity gate (wire stream vs locally encoded in-process
+// answers) without re-encoding through the decoder.
+//
+// Deliberately simple: blocking sockets, one thread per client.  The
+// event-loop sophistication lives on the server side; load generation
+// scales by running many clients (bench/server_loadgen.cpp).
+//
+// Thread-safety: none — one thread per WireClient.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "server/wire.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace edb::server {
+
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient();  // closes the socket
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  // Connects and completes the binary HELLO/HELLO_OK handshake.
+  Expected<bool> connect(const std::string& host, std::uint16_t port,
+                         const std::string& tenant = "");
+
+  // Buffers one QUERY frame; flush() sends everything buffered in one
+  // write — the client half of request pipelining.
+  void queue_query(const service::TuningQuery& query, std::uint64_t seq);
+  Expected<bool> flush();
+
+  struct Response {
+    std::uint64_t seq = 0;
+    std::string raw;  // full frame bytes as received (identity gate)
+    std::optional<service::TuningResult> result;  // RESULT frames
+    std::optional<WireError> error;               // ERROR frames
+  };
+
+  // Blocks for the next response frame.  kUnavailable when the server
+  // closes the connection.
+  Expected<Response> next_response();
+
+  // Convenience: one pipelined round trip.  ERROR responses come back as
+  // the carried error.
+  Expected<service::TuningResult> query(const service::TuningQuery& query,
+                                        std::uint64_t seq);
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }  // tests poke the raw socket
+
+ private:
+  Expected<bool> fill_until(std::size_t bytes);
+
+  int fd_ = -1;
+  std::string sendbuf_;
+  ByteRing in_{4096};
+};
+
+}  // namespace edb::server

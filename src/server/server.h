@@ -1,0 +1,127 @@
+// Socket serving tier: a non-blocking epoll event loop in front of the
+// transport-free ServiceCore (DESIGN.md §11).
+//
+// Thread layout (one TuningServer):
+//
+//   acceptor      — blocking accept() loop; hands each new connection to
+//                   a worker round-robin and wakes it via eventfd.
+//   N workers     — one epoll loop each.  A connection belongs to exactly
+//                   one worker for its whole life (connection affinity),
+//                   so per-connection state is single-threaded and the
+//                   response order a client observes is its own request
+//                   order, independent of N.  Workers decode frames off
+//                   per-connection input rings (readv scatter-gather),
+//                   run admission control, and forward admitted queries
+//                   to the serve thread; completed answers come back on
+//                   a per-worker completion queue (eventfd wake), are
+//                   encoded into per-connection output rings and drained
+//                   with writev — the write-coalescing half: responses
+//                   that complete together leave in one syscall.
+//   serve thread  — the single caller of ServiceCore::serve().  Drains
+//                   the shared admission queue up to max_batch queries
+//                   per invocation, so pipelined clients and concurrent
+//                   connections feed the batch planner real batches and
+//                   get cross-connection dedup/warm-chaining for free
+//                   (same micro-batching contract as the in-process
+//                   TuningService dispatcher).
+//
+// Admission (service/resilience.h, same surface as the in-process tier):
+// global token bucket, per-tenant buckets keyed by the HELLO tenant, and
+// the queue bound, checked in that order on the worker thread; a shed
+// query answers its seq with a non-fatal kResourceExhausted ERROR frame
+// — the wire spelling of the in-process shed ticket.  The serve queue
+// depth is mirrored to the "service.queue.depth" gauge (high watermark
+// in the registry snapshot) and per-request serve latency to
+// "server.request.latency" — both recorded directly on the registry, so
+// they exist even in EDB_OBS=OFF builds.
+//
+// Protocol violations (bad magic, unknown type, oversized or truncated
+// frame, undecodable body) answer with a fatal ERROR frame and close
+// after flushing; they never crash the server or affect other
+// connections.  shutdown(drain=true) stops accepting, lets every
+// admitted query finish and every output ring drain, then closes with a
+// graceful FIN (shutdown(SHUT_WR) before close); drain=false cancels the
+// core cooperatively and closes immediately.
+//
+// Determinism: the event loop adds no numeric work — queries cross the
+// wire bit-exactly (server/wire.h) and answers come from the same
+// ServiceCore the in-process tier uses, so a wire-served result stream
+// is byte-identical to encoding in-process query_batch answers, at any
+// worker count (the loadgen's fatal gate, bench/server_loadgen.cpp).
+//
+// Thread-safety: start() once; shutdown() from any thread (idempotent);
+// port()/stats() any time after start().  Linux-only (epoll, eventfd).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/wire.h"
+#include "service/core.h"
+#include "service/resilience.h"
+#include "util/error.h"
+
+namespace edb::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; port() reports the bound one
+  int workers = 1;         // epoll worker loops
+  int backlog = 128;
+
+  // Serving pipeline (mirrors service::ServiceOptions).
+  core::EngineOptions engine;
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 16;
+  std::size_t max_batch = 64;  // queries per ServiceCore::serve call
+  service::ResilienceOptions resilience;
+
+  // Wire limits.
+  std::uint32_t max_frame = kMaxFrame;       // one frame's payload bytes
+  std::size_t max_output_buffer = 8u << 20;  // per-connection out ring cap
+  std::size_t max_connections = 1024;
+};
+
+struct ServerStats {
+  std::size_t accepted = 0;     // connections accepted over the lifetime
+  std::size_t connections = 0;  // currently open
+  std::size_t queries = 0;      // QUERY frames admitted to the core
+  std::size_t shed = 0;         // QUERY frames shed at admission
+  std::size_t protocol_errors = 0;  // fatal per-connection violations
+};
+
+class TuningServer {
+ public:
+  explicit TuningServer(const ServerOptions& opts);
+  ~TuningServer();  // shutdown(drain=true) if still running
+
+  TuningServer(const TuningServer&) = delete;
+  TuningServer& operator=(const TuningServer&) = delete;
+
+  // Binds, listens and spawns the acceptor/worker/serve threads.
+  // kUnavailable with the errno spelled out when the bind/listen fails.
+  Expected<bool> start();
+
+  // Stops accepting.  drain=true: admitted queries finish, output rings
+  // drain, connections get a graceful FIN.  drain=false: the in-flight
+  // batch is cancelled cooperatively, queued queries are dropped,
+  // connections close immediately.  Idempotent; blocks until all
+  // threads have exited.
+  void shutdown(bool drain);
+
+  // The bound TCP port (after start(); the ephemeral answer when
+  // options.port == 0).
+  std::uint16_t port() const;
+
+  ServerStats stats() const;
+
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  struct Impl;
+  ServerOptions opts_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace edb::server

@@ -1,0 +1,24 @@
+#include "service/core.h"
+
+#include "util/fault.h"
+
+namespace edb::service {
+
+ServiceCore::ServiceCore(const CoreOptions& opts)
+    : cache_(opts.cache_capacity, opts.cache_shards),
+      engine_(opts.engine),
+      planner_(engine_, cache_) {
+  // EDB_FAULT_PLAN takes effect for any process that serves queries:
+  // chaos runs configure injection by environment alone (util/fault.h).
+  // No-op when the variable is unset.
+  fault::install_from_env();
+  planner_.set_cancel(&cancel_);
+  planner_.set_degrade(opts.degrade);
+}
+
+std::vector<Expected<TuningResult>> ServiceCore::serve(
+    const std::vector<TuningQuery>& queries) {
+  return planner_.run(queries);
+}
+
+}  // namespace edb::service

@@ -1,0 +1,80 @@
+// Transport-free serving core: cache + planner + engine, no threads.
+//
+// ServiceCore is the part of the tuning service every front door shares —
+// the value-preserving result cache, the batch planner's dedup/coalesce/
+// warm-chain pipeline and the scenario engine it fans misses through —
+// with no dispatcher, no tickets, no sockets and no admission control.
+// Two thin dispatch layers sit on top:
+//
+//   TuningService (service/service.h) — the in-process API: a dispatcher
+//     thread micro-batches concurrent submitters onto serve() and hands
+//     results back through tickets;
+//   TuningServer (server/server.h)    — the socket tier: epoll worker
+//     loops decode wire frames and micro-batch connections onto serve(),
+//     one serve thread per server.
+//
+// Both layers feed whole batches, so the planner's cross-request dedup
+// and warm-chain grouping behave identically whether queries arrive from
+// ten threads or ten thousand sockets; benches and tests that want the
+// pipeline without any dispatch machinery call serve() directly.
+//
+// Thread-safety: NOT thread-safe.  Exactly one thread may call serve()
+// at a time (the planner mutates state and enters the engine's
+// deterministic pool); the owning dispatch layer provides that
+// serialization.  cancel()/cancelled() are the exception — any thread
+// may trip the cooperative-cancellation token (shutdown paths do).
+//
+// Determinism: serve() is value-preserving — every result is
+// bit-identical to a cold sequential core::run_sweep over the same
+// canonical inputs (DESIGN.md §4), which is what makes the server tier's
+// wire-vs-in-process byte-identity gate possible (DESIGN.md §11).
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/cache.h"
+#include "service/planner.h"
+
+namespace edb::service {
+
+// The transport-independent slice of ServiceOptions (service/service.h
+// keeps the full set and forwards these).
+struct CoreOptions {
+  core::EngineOptions engine;         // miss-path engine configuration
+  std::size_t cache_capacity = 4096;  // protocol outcomes; 0 = no caching
+  std::size_t cache_shards = 16;
+  bool degrade = true;  // serve stale/coarse instead of transient errors
+};
+
+class ServiceCore {
+ public:
+  explicit ServiceCore(const CoreOptions& opts);
+
+  ServiceCore(const ServiceCore&) = delete;
+  ServiceCore& operator=(const ServiceCore&) = delete;
+
+  // Answers one batch; slot i answers queries[i].  Single caller at a
+  // time (see header comment).
+  std::vector<Expected<TuningResult>> serve(
+      const std::vector<TuningQuery>& queries);
+
+  // Trips the cooperative-cancellation token threaded into every
+  // miss-path solve: in-flight batches return kCancelled at the next
+  // solver stage boundary.  Callable from any thread; irreversible.
+  void cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancel_.load(std::memory_order_relaxed); }
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  // Valid between serve() calls only (same exclusion as serve itself).
+  const PlannerStats& planner_stats() const { return planner_.stats(); }
+
+ private:
+  ShardedResultCache cache_;
+  core::ScenarioEngine engine_;
+  BatchPlanner planner_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace edb::service

@@ -45,6 +45,12 @@ struct TuningQuery {
   core::Scenario scenario;
   std::vector<std::string> protocols;
   QueryOptions options;
+  // Caller identity for per-tenant admission control
+  // (service/resilience.h); empty means kDefaultTenant.  The socket tier
+  // stamps it from the connection handshake.  Deliberately NOT part of
+  // the canonical key: who asks never changes the answer, so tenants
+  // share one cache (and the golden key pins must not move).
+  std::string tenant;
 };
 
 struct TuningResult {

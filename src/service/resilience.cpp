@@ -32,6 +32,22 @@ bool TokenBucket::try_acquire() {
   return true;
 }
 
+TenantLimiter::TenantLimiter(const std::vector<TenantLimit>& limits) {
+  for (const TenantLimit& l : limits) {
+    if (l.qps <= 0) continue;
+    const std::string name =
+        l.tenant.empty() ? std::string(kDefaultTenant) : l.tenant;
+    buckets_[name] = std::make_unique<TokenBucket>(l.qps, l.burst);
+  }
+}
+
+bool TenantLimiter::try_acquire(std::string_view tenant) {
+  if (buckets_.empty()) return true;
+  const auto it = buckets_.find(
+      std::string(tenant.empty() ? kDefaultTenant : tenant));
+  return it == buckets_.end() || it->second->try_acquire();
+}
+
 namespace {
 
 obs::Counter& error_counter(ErrorCode code) {
@@ -57,5 +73,13 @@ void count_degraded(ResultQuality quality) {
 }
 
 void count_shed() { obs::Registry::global().counter("service.shed").add(1); }
+
+void count_shed(std::string_view tenant) {
+  count_shed();
+  obs::Registry::global()
+      .counter(std::string("service.shed.") +
+               std::string(tenant.empty() ? kDefaultTenant : tenant))
+      .add(1);
+}
 
 }  // namespace edb::service

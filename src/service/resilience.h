@@ -29,7 +29,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "util/error.h"
 
@@ -44,6 +49,20 @@ enum class ResultQuality {
 
 const char* quality_name(ResultQuality q);
 
+// Per-tenant admission quota (ROADMAP item 1's "per-tenant rate
+// limiting").  A tenant is a caller identity: the wire header carries it
+// per connection (server/wire.h HELLO), in-process callers may set
+// TuningQuery::tenant; empty means kDefaultTenant.  Only configured
+// tenants are limited — everyone else passes the per-tenant stage and
+// still answers to the global bucket.
+struct TenantLimit {
+  std::string tenant;
+  double qps = 0;     // queries/second; <= 0 disables this entry
+  double burst = 64;  // bucket capacity in tokens
+};
+
+inline constexpr std::string_view kDefaultTenant = "default";
+
 struct ResilienceOptions {
   // Bounded submit queue: submissions beyond this depth are shed with
   // kResourceExhausted.  0 = unbounded (the historical behaviour).
@@ -52,6 +71,8 @@ struct ResilienceOptions {
   double rate_limit_qps = 0;
   // Bucket capacity in tokens: the burst the limiter absorbs at full rate.
   double rate_burst = 64;
+  // Per-tenant token buckets layered under the global one (empty = off).
+  std::vector<TenantLimit> tenant_limits;
   // Serve stale/coarse answers instead of transient miss-path errors.
   bool degrade = true;
 };
@@ -74,6 +95,23 @@ class TokenBucket {
   std::chrono::steady_clock::time_point last_;
 };
 
+// Per-tenant admission limiter: one TokenBucket per configured tenant.
+// The bucket map is fixed at construction, so try_acquire() needs no map
+// lock — it is as thread-safe as TokenBucket itself.  Tenants without an
+// entry are admitted unconditionally (the global bucket still applies).
+class TenantLimiter {
+ public:
+  explicit TenantLimiter(const std::vector<TenantLimit>& limits);
+
+  // Normalises an empty tenant to kDefaultTenant, then charges that
+  // tenant's bucket.  True when admitted (or the tenant is unlimited).
+  bool try_acquire(std::string_view tenant);
+  bool enabled() const { return !buckets_.empty(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+};
+
 // Per-code error accounting on the metrics registry: counts into
 // "service.errors.<error_code_name>".  Always on — ServiceStats and the
 // chaos bench read these, so they are load-bearing, not telemetry.
@@ -81,8 +119,11 @@ void count_service_error(ErrorCode code);
 std::uint64_t service_error_count(ErrorCode code);
 
 // Degradation/shed accounting ("service.degraded.stale",
-// "service.degraded.coarse", "service.shed").
+// "service.degraded.coarse", "service.shed").  The tenant overload also
+// counts into "service.shed.<tenant>" (empty = kDefaultTenant), so
+// per-tenant shed rates are first-class registry metrics.
 void count_degraded(ResultQuality quality);
 void count_shed();
+void count_shed(std::string_view tenant);
 
 }  // namespace edb::service

@@ -13,7 +13,7 @@
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
-#include "util/fault.h"
+#include "service/core.h"
 
 namespace edb::service {
 
@@ -49,18 +49,12 @@ void fulfil(const TicketPtr& ticket, Expected<TuningResult> result) {
 
 struct TuningService::Impl {
   explicit Impl(const ServiceOptions& opts)
-      : cache(opts.cache_capacity, opts.cache_shards),
-        engine(opts.engine),
-        planner(engine, cache),
+      : core(CoreOptions{opts.engine, opts.cache_capacity, opts.cache_shards,
+                         opts.resilience.degrade}),
         max_batch(std::max<std::size_t>(1, opts.max_batch)),
         resilience(opts.resilience),
-        bucket(opts.resilience.rate_limit_qps, opts.resilience.rate_burst) {
-    // EDB_FAULT_PLAN takes effect for any process that serves queries:
-    // chaos runs configure injection by environment alone (util/fault.h).
-    // No-op when the variable is unset.
-    fault::install_from_env();
-    planner.set_cancel(&cancel);
-    planner.set_degrade(resilience.degrade);
+        bucket(opts.resilience.rate_limit_qps, opts.resilience.rate_burst),
+        tenants(opts.resilience.tenant_limits) {
     dispatcher = std::thread([this] { loop(); });
   }
 
@@ -78,7 +72,7 @@ struct TuningService::Impl {
       if (!drain) {
         // Cooperative cancellation: queued queries are failed below, the
         // in-flight batch sees the flag at its next solver stage boundary.
-        cancel.store(true, std::memory_order_relaxed);
+        core.cancel();
         dropped.reserve(queue.size());
         while (!queue.empty()) {
           dropped.push_back(std::move(queue.front()));
@@ -119,12 +113,12 @@ struct TuningService::Impl {
       std::vector<TuningQuery> queries;
       queries.reserve(batch.size());
       for (const Pending& p : batch) queries.push_back(p.query);
-      auto results = planner.run(queries);
+      auto results = core.serve(queries);
 
       const auto now = std::chrono::steady_clock::now();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);
-        planner_snapshot = planner.stats();
+        planner_snapshot = core.planner_stats();
         for (const Pending& p : batch) {
           const double secs =
               std::chrono::duration<double>(now - p.ticket->submitted)
@@ -150,6 +144,10 @@ struct TuningService::Impl {
       return make_error(ErrorCode::kResourceExhausted,
                         "admission rate limit exceeded");
     }
+    if (!tenants.try_acquire(pending.query.tenant)) {
+      return make_error(ErrorCode::kResourceExhausted,
+                        "per-tenant rate limit exceeded");
+    }
     {
       std::lock_guard<std::mutex> lock(mutex);
       if (!accepting) {
@@ -169,11 +167,13 @@ struct TuningService::Impl {
   }
 
   // Fails a ticket at the front door (shed / shut down): completes it
-  // immediately and keeps submitted/completed accounting balanced.
-  void reject(const TicketPtr& ticket, Error error) {
+  // immediately and keeps submitted/completed accounting balanced.  Shed
+  // errors are attributed to the submitting tenant's counter.
+  void reject(const TicketPtr& ticket, Error error,
+              std::string_view tenant) {
     const bool shed_error = error.code == ErrorCode::kResourceExhausted;
     count_service_error(error.code);
-    if (shed_error) count_shed();
+    if (shed_error) count_shed(tenant);
     {
       std::lock_guard<std::mutex> lock(stats_mutex);
       ++completed;
@@ -182,13 +182,11 @@ struct TuningService::Impl {
     fulfil(ticket, std::move(error));
   }
 
-  ShardedResultCache cache;
-  core::ScenarioEngine engine;
-  BatchPlanner planner;
+  ServiceCore core;
   const std::size_t max_batch;
   const ResilienceOptions resilience;
   TokenBucket bucket;
-  std::atomic<bool> cancel{false};
+  TenantLimiter tenants;
 
   std::mutex mutex;
   std::condition_variable wake;
@@ -228,8 +226,9 @@ Ticket TuningService::submit(TuningQuery q) {
     std::lock_guard<std::mutex> lock(impl_->stats_mutex);
     ++impl_->submitted;
   }
+  const std::string tenant = q.tenant;
   if (auto rejected = impl_->admit(Pending{std::move(q), t.state_})) {
-    impl_->reject(t.state_, std::move(*rejected));
+    impl_->reject(t.state_, std::move(*rejected), tenant);
   }
   return t;
 }
@@ -263,7 +262,12 @@ std::vector<Expected<TuningResult>> TuningService::query_batch(
     std::lock_guard<std::mutex> lock(impl_->stats_mutex);
     impl_->submitted += qs.size();
   }
-  std::vector<std::pair<TicketPtr, Error>> rejected;
+  struct Rejected {
+    TicketPtr state;
+    Error error;
+    std::string tenant;
+  };
+  std::vector<Rejected> rejected;
   {
     // One lock for the whole vector: the dispatcher wakes to the full
     // batch, so the planner dedups and groups across it.  Admission is
@@ -275,17 +279,26 @@ std::vector<Expected<TuningResult>> TuningService::query_batch(
       t.state_ = std::make_shared<internal::TicketState>();
       t.state_->submitted = now;
       if (!impl_->accepting) {
-        rejected.emplace_back(t.state_, make_error(ErrorCode::kUnavailable,
-                                                   "service shut down"));
+        rejected.push_back({t.state_,
+                            make_error(ErrorCode::kUnavailable,
+                                       "service shut down"),
+                            q.tenant});
       } else if (!impl_->bucket.try_acquire()) {
-        rejected.emplace_back(
-            t.state_, make_error(ErrorCode::kResourceExhausted,
-                                 "admission rate limit exceeded"));
+        rejected.push_back({t.state_,
+                            make_error(ErrorCode::kResourceExhausted,
+                                       "admission rate limit exceeded"),
+                            q.tenant});
+      } else if (!impl_->tenants.try_acquire(q.tenant)) {
+        rejected.push_back({t.state_,
+                            make_error(ErrorCode::kResourceExhausted,
+                                       "per-tenant rate limit exceeded"),
+                            q.tenant});
       } else if (impl_->resilience.max_queue > 0 &&
                  impl_->queue.size() >= impl_->resilience.max_queue) {
-        rejected.emplace_back(t.state_,
-                              make_error(ErrorCode::kResourceExhausted,
-                                         "submit queue full"));
+        rejected.push_back({t.state_,
+                            make_error(ErrorCode::kResourceExhausted,
+                                       "submit queue full"),
+                            q.tenant});
       } else {
         impl_->queue.push_back(Pending{q, t.state_});
       }
@@ -295,8 +308,8 @@ std::vector<Expected<TuningResult>> TuningService::query_batch(
                   static_cast<std::int64_t>(impl_->queue.size()));
   }
   impl_->wake.notify_one();
-  for (auto& [state, error] : rejected) {
-    impl_->reject(state, std::move(error));
+  for (auto& r : rejected) {
+    impl_->reject(r.state, std::move(r.error), r.tenant);
   }
 
   std::vector<Expected<TuningResult>> out;
@@ -307,7 +320,7 @@ std::vector<Expected<TuningResult>> TuningService::query_batch(
 
 ServiceStats TuningService::stats() const {
   ServiceStats out;
-  out.cache = impl_->cache.stats();
+  out.cache = impl_->core.cache_stats();
   std::lock_guard<std::mutex> lock(impl_->stats_mutex);
   out.planner = impl_->planner_snapshot;
   out.submitted = impl_->submitted;

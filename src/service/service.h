@@ -5,12 +5,14 @@
 // Synchronous callers use query()/query_batch(); asynchronous callers
 // submit() a query, keep the Ticket, and poll()/wait() for the result.
 //
-// Threading model: a single dispatcher thread owns the scenario engine and
-// the batch planner (the engine's deterministic thread pool must not be
-// entered concurrently; parallelism on the miss path comes from the
-// engine fanning sweep chains across its own pool).  Submitters enqueue
-// work and block on their tickets.  The dispatcher drains the queue in
-// arrival order, up to `max_batch` queries per planner invocation, so
+// Threading model: TuningService is the in-process dispatch layer over
+// the transport-free ServiceCore (service/core.h) — the socket tier
+// (server/server.h) is the other one.  A single dispatcher thread owns
+// the core (the engine's deterministic thread pool must not be entered
+// concurrently; parallelism on the miss path comes from the engine
+// fanning sweep chains across its own pool).  Submitters enqueue work
+// and block on their tickets.  The dispatcher drains the queue in
+// arrival order, up to `max_batch` queries per core invocation, so
 // concurrent submitters get cross-request dedup and warm-chain grouping
 // for free — the batch planner is the same whether one caller sends a
 // vector or ten callers race.
@@ -23,9 +25,11 @@
 // solver/engine/service/sim metric — for dashboards and bench JSON.
 //
 // Admission control (service/resilience.h): when ResilienceOptions bound
-// the queue or rate-limit admissions, submissions the service cannot
-// absorb come back as immediately-failed kResourceExhausted tickets —
-// shedding at the front door instead of queueing without bound.  On the
+// the queue or rate-limit admissions (globally or per tenant — keyed by
+// TuningQuery::tenant, empty = the default tenant), submissions the
+// service cannot absorb come back as immediately-failed
+// kResourceExhausted tickets — shedding at the front door instead of
+// queueing without bound.  On the
 // miss path, transient failures and deadline blow-outs are served down
 // the degradation ladder (stale, then coarse; TuningResult::quality says
 // which) unless degradation is disabled.

@@ -1,0 +1,109 @@
+#include "util/bytes.h"
+
+#include <sys/uio.h>
+
+#include <algorithm>
+
+namespace edb {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ByteRing::ByteRing(std::size_t capacity_pow2)
+    : buf_(round_up_pow2(std::max<std::size_t>(capacity_pow2, 16))) {}
+
+int ByteRing::fill_iovecs(iovec iov[2]) {
+  if (free_space() == 0) return 0;
+  const std::size_t cap = capacity();
+  const std::size_t tail = (head_ + size_) & (cap - 1);
+  if (tail + free_space() <= cap) {
+    iov[0] = {buf_.data() + tail, free_space()};
+    return 1;
+  }
+  iov[0] = {buf_.data() + tail, cap - tail};
+  iov[1] = {buf_.data(), free_space() - (cap - tail)};
+  return 2;
+}
+
+void ByteRing::commit_fill(std::size_t n) {
+  EDB_ASSERT(n <= free_space(), "ByteRing fill overflow");
+  size_ += n;
+}
+
+int ByteRing::drain_iovecs(iovec iov[2]) {
+  if (size_ == 0) return 0;
+  const std::size_t cap = capacity();
+  if (head_ + size_ <= cap) {
+    iov[0] = {buf_.data() + head_, size_};
+    return 1;
+  }
+  iov[0] = {buf_.data() + head_, cap - head_};
+  iov[1] = {buf_.data(), size_ - (cap - head_)};
+  return 2;
+}
+
+void ByteRing::consume(std::size_t n) {
+  EDB_ASSERT(n <= size_, "ByteRing consume underflow");
+  head_ = (head_ + n) & (capacity() - 1);
+  size_ -= n;
+  if (size_ == 0) head_ = 0;  // repack for free on empty
+}
+
+void ByteRing::copy_out(std::size_t offset, std::size_t n, void* dst) const {
+  EDB_ASSERT(offset + n <= size_, "ByteRing copy_out past filled region");
+  const std::size_t cap = capacity();
+  std::size_t pos = (head_ + offset) & (cap - 1);
+  unsigned char* out = static_cast<unsigned char*>(dst);
+  while (n > 0) {
+    const std::size_t chunk = std::min(n, cap - pos);
+    std::memcpy(out, buf_.data() + pos, chunk);
+    out += chunk;
+    n -= chunk;
+    pos = (pos + chunk) & (cap - 1);
+  }
+}
+
+bool ByteRing::append(const void* src, std::size_t n, std::size_t max_capacity) {
+  if (free_space() < n) {
+    const std::size_t want = round_up_pow2(size_ + n);
+    if (want > max_capacity) return false;
+    grow(want);
+  }
+  const std::size_t cap = capacity();
+  std::size_t tail = (head_ + size_) & (cap - 1);
+  const unsigned char* in = static_cast<const unsigned char*>(src);
+  std::size_t left = n;
+  while (left > 0) {
+    const std::size_t chunk = std::min(left, cap - tail);
+    std::memcpy(buf_.data() + tail, in, chunk);
+    in += chunk;
+    left -= chunk;
+    tail = (tail + chunk) & (cap - 1);
+  }
+  size_ += n;
+  return true;
+}
+
+bool ByteRing::reserve(std::size_t min_capacity, std::size_t max_capacity) {
+  if (capacity() >= min_capacity) return true;
+  const std::size_t want = round_up_pow2(min_capacity);
+  if (want > max_capacity) return false;
+  grow(want);
+  return true;
+}
+
+void ByteRing::grow(std::size_t min_capacity) {
+  std::vector<unsigned char> next(round_up_pow2(min_capacity));
+  copy_out(0, size_, next.data());
+  buf_ = std::move(next);
+  head_ = 0;
+}
+
+}  // namespace edb

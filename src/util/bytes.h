@@ -1,0 +1,205 @@
+// Fixed little-endian byte codec + scatter-gather ring buffer for the
+// socket serving tier (server/wire.h, DESIGN.md §11).
+//
+// ByteWriter/ByteReader are the primitive encode/decode pair behind the
+// wire protocol: integers are written least-significant-byte first by
+// explicit shifts (endian-independent — the encoded stream is identical
+// on any host), doubles travel as the raw 64-bit IEEE pattern, so a
+// decoded double is bit-identical to the encoded one.  That exactness is
+// load-bearing: the server's byte-identity gate compares wire-served
+// result streams against in-process answers bit for bit
+// (bench/server_loadgen.cpp).
+//
+// Strings are length-prefixed (u16 for short protocol/tenant names, u32
+// for canonical key strings); the reader bounds-checks every access and
+// flips a sticky `failed()` flag instead of reading past the end, so a
+// truncated or hostile frame can never walk the decoder out of its
+// buffer (tests/server_wire_test.cpp's malformed corpus).
+//
+// ByteRing is the per-connection stream buffer of the epoll event loop:
+// a power-of-two ring whose free and filled regions are exposed as up to
+// two iovecs, so one readv() fills across the wrap boundary and one
+// writev() drains it — the scatter-gather half of the server's
+// write-coalescing.  Not thread-safe; each connection belongs to exactly
+// one worker loop.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+struct iovec;  // <sys/uio.h>; only pointers appear in this header
+
+namespace edb {
+
+// Appends fixed little-endian primitives to a growable buffer.  The
+// buffer is a std::string purely as a convenient byte container; the
+// content is binary.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  // Raw IEEE-754 bit pattern: the decoded double is bit-identical.
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  // Length-prefixed strings.  str16 caps at 65535 bytes (protocol and
+  // tenant names); str32 carries canonical key strings and messages.
+  // Oversized str16 input is a caller bug (EDB_ASSERT).
+  void str16(std::string_view s) {
+    EDB_ASSERT(s.size() <= 0xffff, "str16 payload over 65535 bytes");
+    u16(static_cast<std::uint16_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void str32(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void bytes(const void* p, std::size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+// Bounds-checked cursor over an encoded buffer.  Every read either
+// succeeds or flips the sticky failure flag and returns 0/""; callers
+// check failed() once at the end of a decode (or earlier, to stop
+// deriving lengths from corrupt data).  Reads never touch memory outside
+// [data, data+size).
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size)
+      : data_(static_cast<const unsigned char*>(data)), size_(size) {}
+  explicit ByteReader(std::string_view s) : ByteReader(s.data(), s.size()) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str16() { return str(u16()); }
+  std::string str32() { return str(u32()); }
+
+  bool failed() const { return failed_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  // A well-formed body consumes its frame exactly: trailing bytes are a
+  // protocol violation the caller treats like any other decode failure.
+  bool exhausted() const { return !failed_ && pos_ == size_; }
+
+ private:
+  bool need(std::size_t n) {
+    if (failed_ || size_ - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+  std::string str(std::size_t n) {
+    if (!need(n)) return {};
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// Power-of-two byte ring for one socket direction.  The filled region
+// [head, head+size) and the free region behind it each span at most two
+// contiguous segments; fill_iovecs()/drain_iovecs() expose them for one
+// readv()/writev() call.  grow() doubles capacity (repacking the
+// content) up to the caller's cap — the server grows output rings under
+// response bursts instead of dropping, and sheds the connection when the
+// cap is hit (server/server.cpp).
+class ByteRing {
+ public:
+  explicit ByteRing(std::size_t capacity_pow2);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t free_space() const { return capacity() - size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Free-region segments for readv(); returns the iovec count (0 when
+  // full).  commit_fill(n) publishes n bytes the kernel wrote.
+  int fill_iovecs(iovec iov[2]);
+  void commit_fill(std::size_t n);
+
+  // Filled-region segments for writev(); returns the iovec count (0 when
+  // empty).  consume(n) releases n drained bytes from the front.
+  int drain_iovecs(iovec iov[2]);
+  void consume(std::size_t n);
+
+  // Copies n bytes starting `offset` into the filled region out to dst
+  // (frame parsing peeks the length prefix without consuming).  Caller
+  // guarantees offset + n <= size().
+  void copy_out(std::size_t offset, std::size_t n, void* dst) const;
+
+  // Appends n bytes, growing as needed up to max_capacity; false (ring
+  // untouched) when the grown ring still could not hold them.
+  bool append(const void* src, std::size_t n, std::size_t max_capacity);
+
+  // Grows until capacity() >= min_capacity (input rings grow to fit one
+  // whole frame); false when that would exceed max_capacity.
+  bool reserve(std::size_t min_capacity, std::size_t max_capacity);
+
+ private:
+  void grow(std::size_t min_capacity);
+
+  std::vector<unsigned char> buf_;
+  std::size_t head_ = 0;  // offset of the first filled byte
+  std::size_t size_ = 0;  // filled bytes
+};
+
+}  // namespace edb

@@ -1,0 +1,351 @@
+// End-to-end socket tests for the serving tier (server/server.h): real
+// TCP connections against an in-process TuningServer on an ephemeral
+// localhost port.  Covers the handshake, the byte-identity contract
+// (wire RESULT == encoded in-process ServiceCore answer), pipelined
+// response ordering, per-tenant admission shed on the wire, the fatal
+// path for malformed frames, the JSON debug mode over a raw socket, and
+// graceful drain shutdown.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "service/core.h"
+#include "service/resilience.h"
+
+namespace edb::server {
+namespace {
+
+// Small eval budgets keep every solve in test time; identical options on
+// the in-process reference core keep the bits comparable.
+service::TuningQuery test_query(double l_max,
+                                std::vector<std::string> protocols = {
+                                    "X-MAC"}) {
+  service::TuningQuery q;
+  q.scenario = core::Scenario::paper_default();
+  q.scenario.requirements.l_max = l_max;
+  q.protocols = std::move(protocols);
+  return q;
+}
+
+ServerOptions test_options(int workers = 1) {
+  ServerOptions opts;
+  opts.workers = workers;
+  opts.engine.threads = 2;
+  opts.engine.parallel = true;
+  return opts;
+}
+
+service::CoreOptions reference_options(const ServerOptions& s) {
+  service::CoreOptions opts;
+  opts.engine = s.engine;
+  opts.cache_capacity = s.cache_capacity;
+  opts.cache_shards = s.cache_shards;
+  return opts;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return obs::Registry::global().counter(name).value();
+}
+
+TEST(ServerSocket, ServesOneQueryBitIdenticalToInProcessCore) {
+  const ServerOptions opts = test_options(1);
+  TuningServer srv(opts);
+  auto started = srv.start();
+  ASSERT_TRUE(started.ok()) << started.error().to_string();
+
+  WireClient client;
+  auto connected = client.connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(connected.ok()) << connected.error().to_string();
+
+  const service::TuningQuery q = test_query(4.0);
+  client.queue_query(q, 7);
+  ASSERT_TRUE(client.flush().ok());
+  auto resp = client.next_response();
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  EXPECT_EQ(resp->seq, 7u);
+  ASSERT_TRUE(resp->result.has_value());
+
+  // The wire frame must be byte-identical to encoding the answer of a
+  // fresh transport-free core over the same query.
+  service::ServiceCore core(reference_options(opts));
+  const auto reference = core.serve({q});
+  ASSERT_EQ(reference.size(), 1u);
+  ASSERT_TRUE(reference[0].ok());
+  EXPECT_EQ(resp->raw, encode_response(reference[0], 7));
+
+  const auto stats = srv.stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST(ServerSocket, PipelinedResponsesKeepRequestOrderAcrossWorkers) {
+  const ServerOptions opts = test_options(4);
+  TuningServer srv(opts);
+  ASSERT_TRUE(srv.start().ok());
+
+  // Two distinct questions alternating; the response stream must come
+  // back seq 0,1,2,... regardless of worker count or batch splits.
+  std::vector<service::TuningQuery> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(test_query(i % 2 ? 3.0 : 5.0));
+  }
+
+  WireClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv.port()).ok());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    client.queue_query(queries[i], i);
+  }
+  ASSERT_TRUE(client.flush().ok());
+
+  service::ServiceCore core(reference_options(opts));
+  const auto reference = core.serve(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto resp = client.next_response();
+    ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+    EXPECT_EQ(resp->seq, i) << "responses out of order";
+    EXPECT_EQ(resp->raw, encode_response(reference[i], i));
+  }
+  srv.shutdown(/*drain=*/true);
+
+  // The serve queue depth gauge saw the pipelined burst (high watermark
+  // is process-wide, so only monotonicity is checkable here).
+  EXPECT_GE(obs::Registry::global().gauge("service.queue.depth").max(), 1);
+}
+
+TEST(ServerSocket, PerTenantLimitShedsOnTheWire) {
+  ServerOptions opts = test_options(1);
+  service::TenantLimit limit;
+  limit.tenant = "noisy";
+  limit.qps = 1e-9;  // effectively: the burst and nothing more
+  limit.burst = 1;
+  opts.resilience.tenant_limits.push_back(limit);
+  TuningServer srv(opts);
+  ASSERT_TRUE(srv.start().ok());
+
+  const std::uint64_t shed_before = counter_value("service.shed.noisy");
+
+  WireClient noisy;
+  ASSERT_TRUE(noisy.connect("127.0.0.1", srv.port(), "noisy").ok());
+  auto first = noisy.query(test_query(4.0), 1);
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+
+  // Second query from the limited tenant: non-fatal shed ERROR, the
+  // connection survives.
+  noisy.queue_query(test_query(5.0), 2);
+  ASSERT_TRUE(noisy.flush().ok());
+  auto resp = noisy.next_response();
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  EXPECT_EQ(resp->seq, 2u);
+  ASSERT_TRUE(resp->error.has_value());
+  EXPECT_EQ(resp->error->code, ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(resp->error->fatal);
+  EXPECT_TRUE(noisy.connected());
+
+  // An unlimited tenant on the same server is unaffected.
+  WireClient calm;
+  ASSERT_TRUE(calm.connect("127.0.0.1", srv.port(), "calm").ok());
+  auto ok = calm.query(test_query(5.0), 3);
+  EXPECT_TRUE(ok.ok());
+
+  EXPECT_GE(counter_value("service.shed.noisy"), shed_before + 1);
+  EXPECT_EQ(srv.stats().shed, 1u);
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST(ServerSocket, MalformedFrameGetsFatalErrorAndClose) {
+  TuningServer srv(test_options(1));
+  ASSERT_TRUE(srv.start().ok());
+
+  WireClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv.port()).ok());
+
+  // A frame whose len cannot hold type+seq: fatal protocol violation.
+  const unsigned char garbage[] = {0x03, 0x00, 0x00, 0x00, 0xaa, 0xbb,
+                                   0xcc};
+  ASSERT_EQ(::send(client.fd(), garbage, sizeof garbage, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof garbage));
+
+  auto resp = client.next_response();
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  ASSERT_TRUE(resp->error.has_value());
+  EXPECT_TRUE(resp->error->fatal);
+  EXPECT_EQ(resp->error->code, ErrorCode::kInvalidArgument);
+
+  // The server closed after flushing: the client saw the FIN and closed.
+  EXPECT_FALSE(client.connected());
+  EXPECT_EQ(srv.stats().protocol_errors, 1u);
+  // The worker closes its side right after the flushing writev; give it
+  // a moment to run that line.
+  for (int i = 0; i < 200 && srv.stats().connections != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(srv.stats().connections, 0u);
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST(ServerSocket, UndecodableQueryBodyIsFatal) {
+  TuningServer srv(test_options(1));
+  ASSERT_TRUE(srv.start().ok());
+
+  WireClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv.port()).ok());
+
+  // Well-formed frame, truncated QUERY body.
+  const std::string bad = frame(MsgType::kQuery, 1, "short");
+  ASSERT_EQ(::send(client.fd(), bad.data(), bad.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bad.size()));
+  auto resp = client.next_response();
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  ASSERT_TRUE(resp->error.has_value());
+  EXPECT_TRUE(resp->error->fatal);
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST(ServerSocket, VersionMismatchedHelloIsRefused) {
+  TuningServer srv(test_options(1));
+  ASSERT_TRUE(srv.start().ok());
+
+  // WireClient always sends a well-formed v1 HELLO, so speak raw bytes:
+  // the frame itself decodes fine, the server rejects the version field.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  Hello hello;
+  hello.version = kWireVersion + 1;
+  const std::string bytes = encode_hello(hello);
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+
+  ByteRing in(1024);
+  FrameView fv;
+  char buf[1024];
+  for (;;) {
+    const FrameStatus st = next_frame(in, kMaxFrame, &fv);
+    if (st == FrameStatus::kFrame) break;
+    ASSERT_EQ(st, FrameStatus::kNeedMore);
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(r, 0) << "server closed without an ERROR frame";
+    ASSERT_TRUE(in.append(buf, static_cast<std::size_t>(r), 1u << 20));
+  }
+  ASSERT_EQ(fv.type, MsgType::kError);
+  auto err = decode_error(fv.body);
+  ASSERT_TRUE(err.ok()) << err.error().to_string();
+  EXPECT_TRUE(err->fatal);
+  EXPECT_EQ(err->code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(err->message, "unsupported wire version");
+
+  // Then the FIN: no HELLO_OK ever arrives.
+  const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+  EXPECT_EQ(r, 0);
+  ::close(fd);
+  EXPECT_EQ(srv.stats().protocol_errors, 1u);
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST(ServerSocket, JsonDebugModeOverARawSocket) {
+  TuningServer srv(test_options(1));
+  ASSERT_TRUE(srv.start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  const std::string lines =
+      "{\"hello\": 1, \"tenant\": \"debug\"}\n"
+      "{\"seq\": 3, \"lmax\": 4.0, \"protocols\": [\"X-MAC\"]}\n";
+  ASSERT_EQ(::send(fd, lines.data(), lines.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(lines.size()));
+
+  std::string got;
+  char buf[4096];
+  while (std::count(got.begin(), got.end(), '\n') < 2) {
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(r, 0) << "server closed before both response lines";
+    got.append(buf, static_cast<std::size_t>(r));
+  }
+  EXPECT_NE(got.find("\"hello_ok\":1"), std::string::npos) << got;
+  EXPECT_NE(got.find("\"seq\":3"), std::string::npos) << got;
+  EXPECT_NE(got.find("\"ok\":true"), std::string::npos) << got;
+  EXPECT_NE(got.find("\"recommended\":\"X-MAC\""), std::string::npos) << got;
+  ::close(fd);
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST(ServerSocket, DrainShutdownAnswersEverythingThenFin) {
+  TuningServer srv(test_options(2));
+  ASSERT_TRUE(srv.start().ok());
+
+  WireClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv.port()).ok());
+  const int n = 6;
+  for (int i = 0; i < n; ++i) {
+    client.queue_query(test_query(3.0 + 0.5 * i), static_cast<std::uint64_t>(i));
+  }
+  ASSERT_TRUE(client.flush().ok());
+
+  // Let the worker decode and admit the burst (decode is microseconds;
+  // the solves behind it are what drain must wait for), then shut down
+  // with the whole pipeline in flight: every admitted query must still
+  // answer, then the connection gets a graceful FIN.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  srv.shutdown(/*drain=*/true);
+
+  for (int i = 0; i < n; ++i) {
+    auto resp = client.next_response();
+    ASSERT_TRUE(resp.ok())
+        << "response " << i << " lost in drain: " << resp.error().to_string();
+    EXPECT_EQ(resp->seq, static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(resp->result.has_value());
+  }
+  auto eof = client.next_response();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.error().code, ErrorCode::kUnavailable);
+
+  // A new connection after shutdown must be refused.
+  WireClient late;
+  EXPECT_FALSE(late.connect("127.0.0.1", srv.port()).ok());
+}
+
+TEST(ServerSocket, ServerLatencyHistogramRecordsServes) {
+  TuningServer srv(test_options(1));
+  ASSERT_TRUE(srv.start().ok());
+  WireClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv.port()).ok());
+  const auto before =
+      obs::Registry::global().histogram("server.request.latency").merged();
+  ASSERT_TRUE(client.query(test_query(4.5), 1).ok());
+  const auto after =
+      obs::Registry::global().histogram("server.request.latency").merged();
+  EXPECT_GE(after.count(), before.count() + 1);
+  srv.shutdown(/*drain=*/true);
+}
+
+}  // namespace
+}  // namespace edb::server

@@ -1,0 +1,389 @@
+// Wire protocol codec tests (server/wire.h): encode/decode round-trip
+// properties over randomized messages, incremental frame extraction off
+// a ByteRing, a malformed-frame corpus (truncations, oversized counts,
+// out-of-range enum bytes, bad magic — every one must come back as a
+// clean error, never a crash or over-read; CI runs this binary under
+// ASan), and the JSON debug-mode parser.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "server/wire.h"
+#include "service/resilience.h"
+#include "util/rng.h"
+
+namespace edb::server {
+namespace {
+
+// ---------------------------------------------------------- generators --
+
+service::TuningQuery random_query(Rng& rng) {
+  service::TuningQuery q;
+  q.scenario = core::Scenario::paper_default();
+  auto& c = q.scenario.context;
+  if (rng.uniform() < 0.3) c.radio.name = "custom radio \"x\"";
+  c.radio.p_tx = rng.uniform(1e-3, 0.1);
+  c.radio.t_startup = rng.uniform(1e-5, 2e-3);
+  c.packet.payload_bytes = rng.uniform(8, 128);
+  c.ring.depth = 1 + static_cast<int>(rng.uniform(0, 9));
+  c.ring.density = rng.uniform(1, 20);
+  c.fs = rng.uniform(1e-6, 1e-2);
+  c.jitter_frac = rng.uniform(0, 0.5);
+  c.burst_factor = rng.uniform(1, 4);
+  c.arrivals = static_cast<net::ArrivalProcess>(
+      static_cast<int>(rng.uniform(0, 2.999)));
+  c.model_version = rng.uniform() < 0.5 ? mac::ModelVersion::kV1
+                                        : mac::ModelVersion::kV2Queueing;
+  q.scenario.requirements.e_budget = rng.uniform(0.01, 0.2);
+  q.scenario.requirements.l_max = rng.uniform(0.5, 10);
+  const char* names[] = {"X-MAC", "LMAC", "DMAC", "b-mac", "wisemac"};
+  const int nproto = static_cast<int>(rng.uniform(0, 3.999));
+  for (int i = 0; i < nproto; ++i) {
+    q.protocols.push_back(names[static_cast<int>(rng.uniform(0, 4.999))]);
+  }
+  q.options.alpha = rng.uniform(0.05, 0.95);
+  q.options.eval_budget =
+      rng.uniform() < 0.5 ? 0 : static_cast<long long>(rng.uniform(1, 1e6));
+  q.tenant = "never-on-the-wire";  // travels in HELLO, not QUERY
+  return q;
+}
+
+core::OperatingPoint random_point(Rng& rng) {
+  core::OperatingPoint p;
+  const int nx = static_cast<int>(rng.uniform(0, 4.999));
+  for (int i = 0; i < nx; ++i) p.x.push_back(rng.uniform(-1, 1));
+  p.energy = rng.uniform(0, 0.1);
+  p.latency = rng.uniform(0, 10);
+  return p;
+}
+
+service::TuningResult random_result(Rng& rng) {
+  service::TuningResult r;
+  r.key.hash = static_cast<std::uint64_t>(rng.uniform(0, 1e18));
+  r.key.canonical = "alpha=5.000000000e-01|lmax=6.000000000e+00";
+  const int n = static_cast<int>(rng.uniform(1, 4.999));
+  for (int i = 0; i < n; ++i) {
+    service::ProtocolOutcome o;
+    o.protocol = "P" + std::to_string(i);
+    if (rng.uniform() < 0.7) {
+      core::BargainingOutcome b;
+      b.p1 = random_point(rng);
+      b.p2 = random_point(rng);
+      b.nbs = random_point(rng);
+      b.nash_product = rng.uniform(0, 1);
+      o.outcome = std::move(b);
+    } else {
+      o.infeasible_code = rng.uniform() < 0.5 ? ErrorCode::kInfeasible
+                                              : ErrorCode::kDeadlineExceeded;
+      o.infeasible_reason = "Lmax below the feasible latency floor";
+    }
+    r.per_protocol.push_back(std::move(o));
+  }
+  r.recommended = -1 + static_cast<int>(rng.uniform(0, n + 0.999));
+  r.quality = static_cast<service::ResultQuality>(
+      static_cast<int>(rng.uniform(0, 2.999)));
+  return r;
+}
+
+// Runs one encoded frame through ring + next_frame.
+FrameStatus parse(const std::string& bytes, FrameView* fv) {
+  ByteRing ring(16);
+  EXPECT_TRUE(ring.append(bytes.data(), bytes.size(), 1u << 22));
+  return next_frame(ring, kMaxFrame, fv);
+}
+
+// ---------------------------------------------------------- round trips --
+
+TEST(WireRoundTrip, QueryEncodeDecodeEncodeIsIdentity) {
+  Rng rng(20260808);
+  for (int it = 0; it < 100; ++it) {
+    const service::TuningQuery q = random_query(rng);
+    const std::uint64_t seq = static_cast<std::uint64_t>(it) * 7919;
+    const std::string bytes = encode_query(q, seq);
+
+    FrameView fv;
+    ASSERT_EQ(parse(bytes, &fv), FrameStatus::kFrame);
+    EXPECT_EQ(fv.type, MsgType::kQuery);
+    EXPECT_EQ(fv.seq, seq);
+
+    auto decoded = decode_query(fv.body);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+    // The identity that matters downstream: re-encoding the decoded
+    // query reproduces the frame byte for byte (doubles travel as raw
+    // bit patterns).
+    EXPECT_EQ(encode_query(*decoded, seq), bytes);
+    // Tenant travels in HELLO only.
+    EXPECT_TRUE(decoded->tenant.empty());
+  }
+}
+
+TEST(WireRoundTrip, ResultEncodeDecodeEncodeIsIdentity) {
+  Rng rng(20260809);
+  for (int it = 0; it < 100; ++it) {
+    const service::TuningResult r = random_result(rng);
+    const std::string bytes = encode_result(r, static_cast<std::uint64_t>(it));
+
+    FrameView fv;
+    ASSERT_EQ(parse(bytes, &fv), FrameStatus::kFrame);
+    EXPECT_EQ(fv.type, MsgType::kResult);
+
+    auto decoded = decode_result(fv.body);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+    EXPECT_EQ(encode_result(*decoded, static_cast<std::uint64_t>(it)), bytes);
+    EXPECT_EQ(decoded->recommended, r.recommended);
+    EXPECT_EQ(decoded->quality, r.quality);
+    EXPECT_EQ(decoded->per_protocol.size(), r.per_protocol.size());
+  }
+}
+
+TEST(WireRoundTrip, HelloAndError) {
+  Hello h;
+  h.mode = WireMode::kJson;
+  h.tenant = "tenant with spaces \"quoted\"";
+  FrameView fv;
+  ASSERT_EQ(parse(encode_hello(h), &fv), FrameStatus::kFrame);
+  ASSERT_EQ(fv.type, MsgType::kHello);
+  auto dh = decode_hello(fv.body);
+  ASSERT_TRUE(dh.ok());
+  EXPECT_EQ(dh->version, kWireVersion);
+  EXPECT_EQ(dh->mode, WireMode::kJson);
+  EXPECT_EQ(dh->tenant, h.tenant);
+
+  WireError e{true, ErrorCode::kResourceExhausted, "shed"};
+  ASSERT_EQ(parse(encode_error(e, 42), &fv), FrameStatus::kFrame);
+  ASSERT_EQ(fv.type, MsgType::kError);
+  EXPECT_EQ(fv.seq, 42u);
+  auto de = decode_error(fv.body);
+  ASSERT_TRUE(de.ok());
+  EXPECT_TRUE(de->fatal);
+  EXPECT_EQ(de->code, ErrorCode::kResourceExhausted);
+  EXPECT_EQ(de->message, "shed");
+}
+
+// ------------------------------------------------------ frame extraction --
+
+TEST(WireFraming, ByteAtATimeDelivery) {
+  const std::string bytes = encode_hello_ok();
+  ByteRing ring(4);
+  FrameView fv;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    ASSERT_TRUE(ring.append(bytes.data() + i, 1, 1u << 20));
+    ASSERT_EQ(next_frame(ring, kMaxFrame, &fv), FrameStatus::kNeedMore)
+        << "after byte " << i;
+  }
+  ASSERT_TRUE(ring.append(bytes.data() + bytes.size() - 1, 1, 1u << 20));
+  ASSERT_EQ(next_frame(ring, kMaxFrame, &fv), FrameStatus::kFrame);
+  EXPECT_EQ(fv.type, MsgType::kHelloOk);
+  EXPECT_EQ(ring.size(), 0u);  // fully consumed
+}
+
+TEST(WireFraming, PipelinedFramesComeBackInOrder) {
+  Rng rng(7);
+  const std::string a = encode_query(random_query(rng), 1);
+  const std::string b = encode_hello_ok();
+  const std::string c = encode_error(WireError{}, 3);
+  ByteRing ring(16);
+  const std::string all = a + b + c;
+  ASSERT_TRUE(ring.append(all.data(), all.size(), 1u << 22));
+  FrameView fv;
+  ASSERT_EQ(next_frame(ring, kMaxFrame, &fv), FrameStatus::kFrame);
+  EXPECT_EQ(fv.type, MsgType::kQuery);
+  ASSERT_EQ(next_frame(ring, kMaxFrame, &fv), FrameStatus::kFrame);
+  EXPECT_EQ(fv.type, MsgType::kHelloOk);
+  ASSERT_EQ(next_frame(ring, kMaxFrame, &fv), FrameStatus::kFrame);
+  EXPECT_EQ(fv.type, MsgType::kError);
+  EXPECT_EQ(next_frame(ring, kMaxFrame, &fv), FrameStatus::kNeedMore);
+}
+
+TEST(WireFraming, OversizedAndShortAndUnknownType) {
+  FrameView fv;
+  {
+    // len just over the cap: kTooLarge, ring untouched.
+    ByteWriter w;
+    w.u32(kMaxFrame + 1);
+    ByteRing ring(8);
+    const std::string bytes = w.take();
+    ASSERT_TRUE(ring.append(bytes.data(), bytes.size(), 1u << 20));
+    EXPECT_EQ(next_frame(ring, kMaxFrame, &fv), FrameStatus::kTooLarge);
+    EXPECT_EQ(ring.size(), bytes.size());
+  }
+  {
+    // len < 9 cannot hold type+seq.
+    ByteWriter w;
+    w.u32(5);
+    w.u8(0x03);
+    w.u32(0);
+    ByteRing ring(8);
+    const std::string bytes = w.take();
+    ASSERT_TRUE(ring.append(bytes.data(), bytes.size(), 1u << 20));
+    EXPECT_EQ(next_frame(ring, kMaxFrame, &fv), FrameStatus::kMalformed);
+  }
+  {
+    // Unknown type byte 0x09.
+    std::string bytes = frame(MsgType::kQuery, 0, "body");
+    bytes[4] = 0x09;
+    ByteRing ring(8);
+    ASSERT_TRUE(ring.append(bytes.data(), bytes.size(), 1u << 20));
+    EXPECT_EQ(next_frame(ring, kMaxFrame, &fv), FrameStatus::kMalformed);
+  }
+}
+
+// ----------------------------------------------------- malformed corpus --
+
+// Every strict prefix of a valid body must decode to a clean error (the
+// ByteReader is bounds-checked and sticky), and so must one trailing
+// byte too many (bodies must consume their frame exactly).
+template <typename Decoder>
+void expect_prefixes_fail(const std::string& body, Decoder decode) {
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    auto r = decode(std::string_view(body.data(), cut));
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes decoded";
+    if (r.ok()) break;
+    EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+  }
+  auto r = decode(body + '\0');
+  EXPECT_FALSE(r.ok()) << "trailing byte accepted";
+}
+
+std::string body_of(const std::string& bytes) {
+  return bytes.substr(13);  // len + type + seq
+}
+
+TEST(WireMalformed, TruncatedAndPaddedBodies) {
+  Rng rng(20260810);
+  expect_prefixes_fail(body_of(encode_query(random_query(rng), 0)),
+                       [](std::string_view b) { return decode_query(b); });
+  expect_prefixes_fail(body_of(encode_result(random_result(rng), 0)),
+                       [](std::string_view b) { return decode_result(b); });
+  expect_prefixes_fail(body_of(encode_hello(Hello{})),
+                       [](std::string_view b) { return decode_hello(b); });
+  expect_prefixes_fail(
+      body_of(encode_error(WireError{false, ErrorCode::kInternal, "x"}, 0)),
+      [](std::string_view b) { return decode_error(b); });
+}
+
+TEST(WireMalformed, BadMagicAndBadVersionByte) {
+  std::string body = body_of(encode_hello(Hello{}));
+  std::string bad = body;
+  bad[0] = 'X';
+  EXPECT_FALSE(decode_hello(bad).ok());
+
+  // Mode byte out of range (offset: magic 4 + version 2).
+  bad = body;
+  bad[6] = 7;
+  EXPECT_FALSE(decode_hello(bad).ok());
+}
+
+TEST(WireMalformed, OutOfRangeEnumBytes) {
+  Rng rng(20260811);
+  {
+    service::TuningQuery q = random_query(rng);
+    q.scenario.context.arrivals = static_cast<net::ArrivalProcess>(9);
+    EXPECT_FALSE(decode_query(body_of(encode_query(q, 0))).ok());
+    q = random_query(rng);
+    q.scenario.context.model_version = static_cast<mac::ModelVersion>(200);
+    EXPECT_FALSE(decode_query(body_of(encode_query(q, 0))).ok());
+  }
+  {
+    service::TuningResult r = random_result(rng);
+    r.quality = static_cast<service::ResultQuality>(17);
+    EXPECT_FALSE(decode_result(body_of(encode_result(r, 0))).ok());
+    r = random_result(rng);
+    r.recommended = static_cast<int>(r.per_protocol.size());  // one past end
+    EXPECT_FALSE(decode_result(body_of(encode_result(r, 0))).ok());
+    r = random_result(rng);
+    r.per_protocol[0].outcome.reset();
+    r.per_protocol[0].infeasible_code = static_cast<ErrorCode>(250);
+    r.recommended = -1;
+    EXPECT_FALSE(decode_result(body_of(encode_result(r, 0))).ok());
+  }
+}
+
+TEST(WireMalformed, OversizedProtocolCount) {
+  service::TuningQuery q;
+  q.scenario = core::Scenario::paper_default();
+  std::string body = body_of(encode_query(q, 0));
+  // The protocol count u16 sits right before alpha:f64 eval_budget:i64
+  // (the query had zero protocols), 18 bytes from the end.
+  ASSERT_GE(body.size(), 18u);
+  const std::size_t at = body.size() - 18;
+  ASSERT_EQ(body[at], 0);
+  ASSERT_EQ(body[at + 1], 0);
+  body[at] = static_cast<char>(0xff);
+  body[at + 1] = static_cast<char>(0xff);  // claims 65535 protocols
+  auto r = decode_query(body);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------- JSON debug mode --
+
+TEST(WireJson, ParsesTheDocumentedRequestSchema) {
+  auto hello = parse_json_request("{\"hello\":1,\"tenant\":\"ops\"}");
+  ASSERT_TRUE(hello.ok()) << hello.error().to_string();
+  EXPECT_TRUE(hello->hello);
+  EXPECT_EQ(hello->tenant, "ops");
+
+  auto req = parse_json_request(
+      "{\"seq\": 9, \"lmax\": 3.25, \"ebudget\": 0.05, \"alpha\": 0.75, "
+      "\"depth\": 4, \"density\": 9.5, \"fs\": 1e-4, "
+      "\"protocols\": [\"X-MAC\", \"LMAC\"]}");
+  ASSERT_TRUE(req.ok()) << req.error().to_string();
+  EXPECT_FALSE(req->hello);
+  EXPECT_EQ(req->seq, 9u);
+  EXPECT_EQ(req->query.scenario.requirements.l_max, 3.25);
+  EXPECT_EQ(req->query.scenario.requirements.e_budget, 0.05);
+  EXPECT_EQ(req->query.options.alpha, 0.75);
+  EXPECT_EQ(req->query.scenario.context.ring.depth, 4);
+  EXPECT_EQ(req->query.scenario.context.ring.density, 9.5);
+  EXPECT_EQ(req->query.scenario.context.fs, 1e-4);
+  ASSERT_EQ(req->query.protocols.size(), 2u);
+  EXPECT_EQ(req->query.protocols[0], "X-MAC");
+
+  // Untouched fields keep the paper calibration.
+  const core::Scenario def = core::Scenario::paper_default();
+  EXPECT_EQ(req->query.scenario.context.energy_epoch,
+            def.context.energy_epoch);
+}
+
+TEST(WireJson, RejectsTyposAndTrailingBytes) {
+  EXPECT_FALSE(parse_json_request("{\"lmaks\":3}").ok());
+  EXPECT_FALSE(parse_json_request("{\"lmax\":3} extra").ok());
+  EXPECT_FALSE(parse_json_request("not json").ok());
+  EXPECT_FALSE(parse_json_request("{\"protocols\": 3}").ok());
+  EXPECT_FALSE(parse_json_request("{\"lmax\": }").ok());
+}
+
+TEST(WireJson, ResponseLinesCarrySeqAndOutcome) {
+  service::TuningResult r;
+  r.key.canonical = "k";
+  service::ProtocolOutcome o;
+  o.protocol = "X-MAC";
+  core::BargainingOutcome b;
+  b.nbs.x = {0.03125};
+  b.nbs.energy = 0.017;
+  b.nbs.latency = 1.5;
+  b.nash_product = 0.25;
+  o.outcome = std::move(b);
+  r.per_protocol.push_back(std::move(o));
+  r.recommended = 0;
+
+  const std::string line =
+      json_response_line(Expected<service::TuningResult>(std::move(r)), 12);
+  EXPECT_NE(line.find("\"seq\":12"), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"recommended\":\"X-MAC\""), std::string::npos);
+  EXPECT_NE(line.find("\"energy\":0.017"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+
+  const std::string err = json_error_line(
+      WireError{false, ErrorCode::kResourceExhausted, "shed"}, 13);
+  EXPECT_NE(err.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(err.find("resource_exhausted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edb::server
